@@ -1,0 +1,99 @@
+// Command predis-bench regenerates the paper's evaluation figures
+// (§V, Figs. 4–8) from the simulated testbed.
+//
+// Usage:
+//
+//	predis-bench [-quick] [-seed N] list
+//	predis-bench [-quick] [-seed N] run <experiment-id>...
+//	predis-bench [-quick] [-seed N] all
+//
+// Experiment ids: fig4a fig4b fig4c fig4d fig5wan fig5lan fig6 fig7 fig8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"predis/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	quick := flag.Bool("quick", false, "shrink durations and sweeps (~1 minute total)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		return 2
+	}
+	opts := harness.Options{Quick: *quick, Seed: *seed}
+
+	switch args[0] {
+	case "list":
+		for _, e := range harness.Registry() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return 0
+	case "all":
+		for _, e := range harness.Registry() {
+			if code := runOne(e, opts); code != 0 {
+				return code
+			}
+		}
+		return 0
+	case "run":
+		if len(args) < 2 {
+			fmt.Fprintln(os.Stderr, "predis-bench: run needs at least one experiment id")
+			return 2
+		}
+		for _, id := range args[1:] {
+			e, err := harness.Lookup(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "predis-bench:", err)
+				return 2
+			}
+			if code := runOne(e, opts); code != 0 {
+				return code
+			}
+		}
+		return 0
+	default:
+		usage()
+		return 2
+	}
+}
+
+func runOne(e harness.Experiment, opts harness.Options) int {
+	fmt.Printf("### %s — %s\n", e.ID, e.Title)
+	start := time.Now()
+	tables, err := e.Run(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predis-bench: %s: %v\n", e.ID, err)
+		return 1
+	}
+	for _, t := range tables {
+		fmt.Println(t.Render())
+	}
+	fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `predis-bench regenerates the paper's evaluation figures.
+
+Usage:
+  predis-bench [-quick] [-seed N] list
+  predis-bench [-quick] [-seed N] run <id>...
+  predis-bench [-quick] [-seed N] all
+
+Flags:
+`)
+	flag.PrintDefaults()
+}

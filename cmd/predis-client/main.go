@@ -1,0 +1,162 @@
+// Command predis-client is a TCP load generator: it submits transactions
+// to a running predis-node deployment at a fixed rate, waits for f+1
+// matching replies per transaction, and reports throughput and latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"predis/internal/env"
+	"predis/internal/node"
+	"predis/internal/rtnet"
+	"predis/internal/stats"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// clientHandler implements the reply side of the client protocol over
+// rtnet. Unlike the simulator's workload.Client it runs in real time.
+type clientHandler struct {
+	mu      sync.Mutex
+	ctx     env.Context
+	f       int
+	pending map[uint64]*pendingTx
+	lats    []time.Duration
+	done    int
+}
+
+type pendingTx struct {
+	submitted time.Time
+	replies   map[wire.NodeID]struct{}
+}
+
+func (c *clientHandler) Start(ctx env.Context) { c.ctx = ctx }
+
+func (c *clientHandler) Receive(from wire.NodeID, m wire.Message) {
+	reply, ok := m.(*types.BlockReply)
+	if !ok {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, seq := range reply.Seqs {
+		p, ok := c.pending[seq]
+		if !ok {
+			continue
+		}
+		p.replies[reply.Replica] = struct{}{}
+		if len(p.replies) >= c.f+1 {
+			c.lats = append(c.lats, now.Sub(p.submitted))
+			c.done++
+			delete(c.pending, seq)
+		}
+	}
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		id       = flag.Uint("id", 1000, "client node id (distinct from consensus ids)")
+		targets  = flag.String("targets", "", "comma-separated id=host:port of consensus nodes")
+		rate     = flag.Float64("rate", 200, "offered load, tx/s")
+		txSize   = flag.Uint("txsize", 512, "transaction size in bytes")
+		duration = flag.Duration("duration", 10*time.Second, "generation duration")
+		policy   = flag.String("policy", "roundrobin", "target policy: roundrobin|first|broadcast")
+	)
+	flag.Parse()
+
+	peerMap := make(map[wire.NodeID]string)
+	var ids []wire.NodeID
+	for _, part := range strings.Split(*targets, ",") {
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			fmt.Fprintf(os.Stderr, "predis-client: bad target %q\n", part)
+			return 2
+		}
+		tid, err := strconv.ParseUint(kv[0], 10, 32)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predis-client: bad target id %q\n", kv[0])
+			return 2
+		}
+		peerMap[wire.NodeID(tid)] = kv[1]
+		ids = append(ids, wire.NodeID(tid))
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "predis-client: -targets is required")
+		return 2
+	}
+	f := (len(ids) - 1) / 3
+
+	node.RegisterAllMessages()
+	h := &clientHandler{f: f, pending: make(map[uint64]*pendingTx)}
+	rt, err := rtnet.New(rtnet.Config{
+		Self: wire.NodeID(*id), Listen: "127.0.0.1:0", Peers: peerMap, LogWriter: os.Stderr,
+	}, h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predis-client:", err)
+		return 1
+	}
+	if err := rt.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "predis-client:", err)
+		return 1
+	}
+	defer rt.Close()
+
+	fmt.Printf("client %d: %0.f tx/s for %v against %d nodes (f=%d)\n",
+		*id, *rate, *duration, len(ids), f)
+	start := time.Now()
+	interval := time.Duration(float64(time.Second) / *rate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	var seq uint64
+	next := 0
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for now := range ticker.C {
+		if now.Sub(start) > *duration {
+			break
+		}
+		seq++
+		tx := types.NewTransaction(wire.NodeID(*id), seq, uint32(*txSize), now.Sub(start))
+		h.mu.Lock()
+		h.pending[seq] = &pendingTx{submitted: now, replies: make(map[wire.NodeID]struct{})}
+		h.mu.Unlock()
+		switch *policy {
+		case "broadcast":
+			for _, t := range ids {
+				h.ctx.Send(t, &types.SubmitTx{Tx: tx, Target: t})
+			}
+		case "first":
+			h.ctx.Send(ids[0], &types.SubmitTx{Tx: tx, Target: ids[0]})
+		default:
+			t := ids[next%len(ids)]
+			next++
+			h.ctx.Send(t, &types.SubmitTx{Tx: tx, Target: t})
+		}
+	}
+
+	// Drain window for in-flight transactions.
+	time.Sleep(2 * time.Second)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	elapsed := time.Since(start) - 2*time.Second
+	sum := stats.Summarize(h.lats)
+	fmt.Printf("submitted=%d confirmed=%d throughput=%.0f tx/s\n",
+		seq, h.done, float64(h.done)/elapsed.Seconds())
+	fmt.Printf("latency: mean=%v p50=%v p90=%v p99=%v\n", sum.Mean, sum.P50, sum.P90, sum.P99)
+	return 0
+}

@@ -1,0 +1,3 @@
+module predis
+
+go 1.22

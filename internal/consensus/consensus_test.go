@@ -1,0 +1,53 @@
+package consensus
+
+import "testing"
+
+func TestLeaderRotation(t *testing.T) {
+	n := 4
+	seen := make(map[uint32]bool)
+	for v := uint64(0); v < 8; v++ {
+		l := LeaderOf(v, n)
+		seen[uint32(l)] = true
+		if int(l) >= n {
+			t.Fatalf("leader %d out of range", l)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("rotation visited %d leaders, want %d", len(seen), n)
+	}
+	if LeaderOf(0, 4) != 0 || LeaderOf(5, 4) != 1 {
+		t.Fatal("round-robin schedule wrong")
+	}
+}
+
+func TestQuorumAndFaultBound(t *testing.T) {
+	cases := []struct{ n, f, q int }{
+		{1, 0, 1}, {2, 0, 2}, {3, 0, 3},
+		{4, 1, 3}, {5, 1, 4}, {6, 1, 5},
+		{7, 2, 5}, {10, 3, 7}, {13, 4, 9},
+		{16, 5, 11}, {80, 26, 54},
+	}
+	for _, c := range cases {
+		if got := FaultBound(c.n); got != c.f {
+			t.Errorf("FaultBound(%d) = %d, want %d", c.n, got, c.f)
+		}
+		if got := Quorum(c.n); got != c.q {
+			t.Errorf("Quorum(%d) = %d, want %d", c.n, got, c.q)
+		}
+	}
+	// Quorum intersection: any two quorums of n−f nodes intersect in at
+	// least f+1 nodes, so at least one honest node is in both.
+	for n := 4; n <= 100; n++ {
+		f := FaultBound(n)
+		q := Quorum(n)
+		if 2*q-n < f+1 {
+			t.Fatalf("n=%d: quorum intersection %d < f+1=%d", n, 2*q-n, f+1)
+		}
+	}
+}
+
+func TestErrPendingIdentity(t *testing.T) {
+	if ErrPending == nil || ErrPending.Error() == "" {
+		t.Fatal("ErrPending must be a real sentinel")
+	}
+}

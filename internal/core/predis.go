@@ -1,0 +1,493 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"predis/internal/consensus"
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// FaultMode selects a Byzantine behaviour for fault-injection experiments
+// (Fig. 6).
+type FaultMode int
+
+// Fault modes.
+const (
+	// FaultNone is honest behaviour.
+	FaultNone FaultMode = iota
+	// FaultSilent reproduces Fig. 6 case 1: the node neither produces
+	// bundles nor votes.
+	FaultSilent
+	// FaultPartial reproduces Fig. 6 case 2: the node refuses to vote and
+	// sends each bundle to a random subset of n_c−f−1 peers, so the
+	// remaining nodes must fetch the missing bundles.
+	FaultPartial
+)
+
+// Options configures a Predis instance (the active component wrapping a
+// Mempool).
+type Options struct {
+	// Params are the data-structure parameters.
+	Params Params
+	// Self is this consensus node's ID (= chain index).
+	Self wire.NodeID
+	// Peers lists all consensus node IDs, including Self.
+	Peers []wire.NodeID
+	// OnCommit, when non-nil, receives every committed block in order.
+	OnCommit func(CommitInfo)
+	// Disseminate overrides how freshly produced bundles leave the node.
+	// Nil means multicast the BundleMsg to all consensus peers (the plain
+	// Predis deployment); Multi-Zone installs stripe encoding here.
+	Disseminate func(ctx env.Context, b *Bundle)
+	// StripeRoot, when non-nil, computes the stripe Merkle root of a
+	// bundle body so it can be committed in the header before signing
+	// (required when Disseminate erasure-codes bundles).
+	StripeRoot func(txs []*types.Transaction) crypto.Hash
+	// OnBundleStored, when non-nil, fires for every bundle that links
+	// into the mempool (own and peer bundles alike); Multi-Zone ships
+	// stripes to full nodes from here.
+	OnBundleStored func(b *Bundle)
+	// Fault selects a Byzantine behaviour.
+	Fault FaultMode
+	// MaxFetchBundles bounds bundles per BundleResponse (default 64).
+	MaxFetchBundles int
+}
+
+// CommitInfo describes one committed Predis block.
+type CommitInfo struct {
+	Height  uint64
+	Block   *PredisBlock
+	Bundles []*Bundle
+	Txs     []*types.Transaction
+}
+
+// Predis is the per-node data production component (§III). It owns the
+// mempool, packs and disseminates bundles, serves and issues bundle
+// fetches, maintains the ban list, and implements consensus.Application so
+// a BFT engine can order Predis blocks.
+//
+// It must be driven from a single serialized executor (env contract).
+type Predis struct {
+	opts Options
+	ctx  env.Context
+	mp   *Mempool
+
+	queue          []*types.Transaction
+	produceTimer   env.Timer
+	lastAdvertised TipList
+
+	lastHeight    uint64
+	lastBlockHash crypto.Hash
+
+	// fetches tracks one outstanding fetch per producer chain.
+	fetches map[wire.NodeID]*fetchState
+
+	engine consensus.Engine
+
+	// stats
+	bundlesProduced uint64
+	bundlesAccepted uint64
+	txsCommitted    uint64
+}
+
+type fetchState struct {
+	to      uint64 // highest height requested
+	attempt int
+	timer   env.Timer
+}
+
+var _ consensus.Application = (*Predis)(nil)
+
+// NewPredis builds the component; call Start before use and SetEngine once
+// the consensus engine exists.
+func NewPredis(opts Options) (*Predis, error) {
+	if err := opts.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Peers) != opts.Params.NC {
+		return nil, fmt.Errorf("core: %d peers for NC=%d", len(opts.Peers), opts.Params.NC)
+	}
+	if opts.MaxFetchBundles <= 0 {
+		opts.MaxFetchBundles = 64
+	}
+	mp, err := NewMempool(opts.Params)
+	if err != nil {
+		return nil, err
+	}
+	if opts.OnBundleStored != nil {
+		mp.SetOnLink(opts.OnBundleStored)
+	}
+	return &Predis{
+		opts:    opts,
+		mp:      mp,
+		fetches: make(map[wire.NodeID]*fetchState),
+	}, nil
+}
+
+// Mempool exposes the underlying mempool (read-mostly; external mutation
+// is limited to Ban/Unban).
+func (p *Predis) Mempool() *Mempool { return p.mp }
+
+// SetEngine wires the consensus engine for Poke notifications.
+func (p *Predis) SetEngine(e consensus.Engine) { p.engine = e }
+
+// Stats returns (bundles produced, bundles accepted from peers, txs
+// committed).
+func (p *Predis) Stats() (produced, accepted, committed uint64) {
+	return p.bundlesProduced, p.bundlesAccepted, p.txsCommitted
+}
+
+// QueueLen returns the number of transactions awaiting bundling.
+func (p *Predis) QueueLen() int { return len(p.queue) }
+
+// Start arms the bundle production timer.
+func (p *Predis) Start(ctx env.Context) {
+	p.ctx = ctx
+	p.armProduceTimer()
+}
+
+func (p *Predis) armProduceTimer() {
+	if p.opts.Fault == FaultSilent {
+		return
+	}
+	p.produceTimer = p.ctx.After(p.mp.params.BundleInterval, func() {
+		p.produceBundle()
+		p.armProduceTimer()
+	})
+}
+
+// SubmitTx enqueues a client transaction for bundling; full bundles are
+// emitted immediately (without waiting for the interval timer).
+func (p *Predis) SubmitTx(tx *types.Transaction) {
+	if p.opts.Fault == FaultSilent {
+		return
+	}
+	p.queue = append(p.queue, tx)
+	for len(p.queue) >= p.mp.params.BundleSize {
+		p.produceBundle()
+	}
+}
+
+// HasPendingWork implements consensus.WorkReporter: there is work when
+// transactions await bundling or unconfirmed non-empty bundles exist.
+func (p *Predis) HasPendingWork() bool {
+	return len(p.queue) > 0 || p.mp.HasUnconfirmedPayload()
+}
+
+// produceBundle packs the next bundle from the queue and disseminates it.
+// With an empty queue it may emit an empty *heartbeat* bundle: tip lists
+// ride on bundles, so confirming the tail of traffic requires one more
+// round of tip exchange (§III-F: only bundles produced 2·ls earlier can be
+// cut). Heartbeats are emitted only while unconfirmed payload exists and
+// our advertised tips are stale, so an idle network quiesces.
+func (p *Predis) produceBundle() {
+	if p.opts.Fault == FaultSilent {
+		return
+	}
+	if len(p.queue) == 0 {
+		if !p.mp.HasUnconfirmedPayload() {
+			return
+		}
+		tips := p.mp.Tips()
+		if tipsEqual(tips, p.lastAdvertised) {
+			return
+		}
+	}
+	n := p.mp.params.BundleSize
+	if n > len(p.queue) {
+		n = len(p.queue)
+	}
+	txs := p.queue[:n:n]
+	p.queue = p.queue[n:]
+
+	tips := p.mp.Tips()
+	parent := p.mp.TipHeader(p.opts.Self)
+	tips[p.opts.Self]++ // the producer holds the bundle it is creating
+	stripeRoot := crypto.ZeroHash
+	if p.opts.StripeRoot != nil {
+		stripeRoot = p.opts.StripeRoot(txs)
+	}
+	b := PackBundleStriped(p.mp.params.Signer, p.opts.Self, parent, txs, tips, stripeRoot)
+	// Self-insertion skips signature/body verification.
+	if _, _, _, err := p.mp.AddBundle(b, false); err != nil {
+		p.ctx.Logf("predis: self bundle rejected: %v", err)
+		return
+	}
+	p.bundlesProduced++
+	p.lastAdvertised = b.Header.Tips.Clone()
+	p.disseminate(b)
+	p.poke()
+}
+
+func tipsEqual(a, b TipList) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Predis) disseminate(b *Bundle) {
+	if p.opts.Disseminate != nil {
+		p.opts.Disseminate(p.ctx, b)
+		return
+	}
+	msg := &BundleMsg{Bundle: b}
+	if p.opts.Fault == FaultPartial {
+		// Send to a random subset of n_c−f−1 peers (Fig. 6 case 2).
+		k := p.mp.params.NC - p.mp.params.F - 1
+		perm := p.ctx.Rand().Perm(len(p.opts.Peers))
+		sent := 0
+		for _, idx := range perm {
+			peer := p.opts.Peers[idx]
+			if peer == p.opts.Self || sent >= k {
+				continue
+			}
+			p.ctx.Send(peer, msg)
+			sent++
+		}
+		return
+	}
+	env.Multicast(p.ctx, p.opts.Peers, msg)
+}
+
+// Receive handles Predis data-plane messages. The node layer routes
+// messages of core types here.
+func (p *Predis) Receive(from wire.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *BundleMsg:
+		p.onBundle(from, msg.Bundle)
+	case *BundleRequest:
+		p.onBundleRequest(from, msg)
+	case *BundleResponse:
+		for _, b := range msg.Bundles {
+			p.onBundle(from, b)
+		}
+	case *ConflictEvidence:
+		p.onEvidence(from, msg)
+	default:
+		p.ctx.Logf("predis: unexpected message %s from %d", wire.TypeName(m.Type()), from)
+	}
+}
+
+func (p *Predis) onBundle(from wire.NodeID, b *Bundle) {
+	res, ev, miss, err := p.mp.AddBundle(b, true)
+	switch {
+	case err != nil:
+		if !errors.Is(err, ErrBannedProducer) {
+			p.ctx.Logf("predis: bundle from %d rejected: %v", from, err)
+		}
+		return
+	case res == Conflicting:
+		// Spread the evidence so every honest node bans the producer.
+		env.Multicast(p.ctx, p.opts.Peers, ev)
+		return
+	case res == Buffered:
+		p.requestMissing(miss)
+		return
+	case res == Added:
+		p.bundlesAccepted++
+		p.clearSatisfiedFetch(b.Header.Producer)
+		p.poke()
+	}
+}
+
+func (p *Predis) onBundleRequest(from wire.NodeID, req *BundleRequest) {
+	if int(req.Producer) >= p.mp.params.NC || req.From == 0 || req.To < req.From {
+		return
+	}
+	to := req.To
+	if to-req.From+1 > uint64(p.opts.MaxFetchBundles) {
+		to = req.From + uint64(p.opts.MaxFetchBundles) - 1
+	}
+	bundles := p.mp.Range(req.Producer, req.From-1, to)
+	if len(bundles) == 0 {
+		return
+	}
+	p.ctx.Send(from, &BundleResponse{Bundles: bundles})
+}
+
+func (p *Predis) onEvidence(from wire.NodeID, ev *ConflictEvidence) {
+	producer := ev.A.Producer
+	if p.mp.Banned(producer) {
+		return // already known; do not re-flood
+	}
+	if !ev.Verify(p.mp.params.Signer) {
+		p.ctx.Logf("predis: bogus conflict evidence from %d", from)
+		return
+	}
+	p.mp.Ban(producer, ev)
+	env.Multicast(p.ctx, p.opts.Peers, ev)
+}
+
+// requestMissing issues (or extends) the fetch for a chain's gap. The
+// first attempt asks the producer itself; retries rotate over other peers
+// (§III-D: missing bundles are obtainable from n_c−2f honest nodes).
+func (p *Predis) requestMissing(miss *MissingRange) {
+	if miss == nil {
+		return
+	}
+	st := p.fetches[miss.Producer]
+	if st != nil && st.to >= miss.To {
+		return // an outstanding fetch already covers the gap
+	}
+	if st == nil {
+		st = &fetchState{}
+		p.fetches[miss.Producer] = st
+	} else if st.timer != nil {
+		st.timer.Stop()
+	}
+	st.to = miss.To
+	p.sendFetch(miss.Producer, st)
+}
+
+func (p *Predis) sendFetch(producer wire.NodeID, st *fetchState) {
+	from := p.mp.chains[producer].tip() + 1
+	if from > st.to {
+		p.clearFetch(producer)
+		return
+	}
+	req := &BundleRequest{Producer: producer, From: from, To: st.to}
+	// First attempt asks the producer plus one rotating peer in parallel:
+	// the cutting rule guarantees n_c−2f honest holders (§III-D), so a
+	// second target hides a slow or uncooperative producer. Retries rotate
+	// over the remaining peers.
+	candidates := make([]wire.NodeID, 0, len(p.opts.Peers))
+	for _, peer := range p.opts.Peers {
+		if peer != p.opts.Self && peer != producer {
+			candidates = append(candidates, peer)
+		}
+	}
+	if st.attempt == 0 {
+		p.ctx.Send(producer, req)
+		if len(candidates) > 0 {
+			p.ctx.Send(candidates[p.ctx.Rand().Intn(len(candidates))], req)
+		}
+	} else if len(candidates) > 0 {
+		p.ctx.Send(candidates[(st.attempt-1)%len(candidates)], req)
+	} else {
+		p.ctx.Send(producer, req)
+	}
+	st.attempt++
+	retry := p.mp.params.BundleInterval * 4
+	st.timer = p.ctx.After(retry, func() { p.sendFetch(producer, st) })
+}
+
+func (p *Predis) clearSatisfiedFetch(producer wire.NodeID) {
+	st := p.fetches[producer]
+	if st == nil {
+		return
+	}
+	if p.mp.chains[producer].tip() >= st.to {
+		p.clearFetch(producer)
+	}
+}
+
+func (p *Predis) clearFetch(producer wire.NodeID) {
+	if st := p.fetches[producer]; st != nil {
+		if st.timer != nil {
+			st.timer.Stop()
+		}
+		delete(p.fetches, producer)
+	}
+}
+
+func (p *Predis) poke() {
+	if p.engine != nil {
+		p.engine.Poke()
+	}
+}
+
+// --- consensus.Application ---
+
+// parentState resolves the baseline cut vector and parent hash from a
+// parent payload (nil = genesis).
+func (p *Predis) parentState(parent wire.Message) ([]uint64, crypto.Hash, error) {
+	if parent == nil {
+		return ZeroCuts(p.mp.params.NC), crypto.ZeroHash, nil
+	}
+	pb, ok := parent.(*PredisBlock)
+	if !ok {
+		return nil, crypto.ZeroHash, fmt.Errorf("%w: parent payload is %T", ErrBlockShape, parent)
+	}
+	return pb.CutHeights(), pb.Hash(), nil
+}
+
+// BuildProposal implements consensus.Application: cut the chains relative
+// to the parent block and pack a Predis block.
+func (p *Predis) BuildProposal(height uint64, parent wire.Message) (wire.Message, crypto.Hash, bool) {
+	if p.opts.Fault != FaultNone {
+		return nil, crypto.ZeroHash, false
+	}
+	prev, parentHash, err := p.parentState(parent)
+	if err != nil {
+		p.ctx.Logf("predis: build: %v", err)
+		return nil, crypto.ZeroHash, false
+	}
+	blk, ok := p.mp.BuildPredisBlock(height, parentHash, prev, p.opts.Self)
+	if !ok {
+		return nil, crypto.ZeroHash, false
+	}
+	return blk, blk.Hash(), true
+}
+
+// ValidateProposal implements consensus.Application.
+func (p *Predis) ValidateProposal(height uint64, payload, parent wire.Message) (crypto.Hash, error) {
+	if p.opts.Fault != FaultNone {
+		// Faulty replicas refuse to vote (Fig. 6).
+		return crypto.ZeroHash, errors.New("core: faulty replica refuses to vote")
+	}
+	blk, ok := payload.(*PredisBlock)
+	if !ok {
+		return crypto.ZeroHash, fmt.Errorf("%w: payload is %T", ErrBlockShape, payload)
+	}
+	if blk.Height != height {
+		return crypto.ZeroHash, fmt.Errorf("%w: block height %d, consensus height %d",
+			ErrBlockShape, blk.Height, height)
+	}
+	prev, parentHash, err := p.parentState(parent)
+	if err != nil {
+		return crypto.ZeroHash, err
+	}
+	missing, err := p.mp.ValidatePredisBlock(blk, parentHash, prev)
+	if errors.Is(err, ErrBlockMissing) {
+		for i := range missing {
+			p.requestMissing(&missing[i])
+		}
+		return crypto.ZeroHash, consensus.ErrPending
+	}
+	if err != nil {
+		return crypto.ZeroHash, err
+	}
+	return blk.Hash(), nil
+}
+
+// OnCommit implements consensus.Application.
+func (p *Predis) OnCommit(height uint64, payload wire.Message) {
+	blk, ok := payload.(*PredisBlock)
+	if !ok {
+		p.ctx.Logf("predis: commit with payload %T", payload)
+		return
+	}
+	if height != p.lastHeight+1 {
+		p.ctx.Logf("predis: commit height %d, expected %d", height, p.lastHeight+1)
+	}
+	bundles := p.mp.BlockBundles(blk, p.mp.Confirmed())
+	txs := BlockTxs(bundles)
+	p.mp.ApplyCommit(blk)
+	p.lastHeight = height
+	p.lastBlockHash = blk.Hash()
+	p.txsCommitted += uint64(len(txs))
+	if p.opts.OnCommit != nil {
+		p.opts.OnCommit(CommitInfo{Height: height, Block: blk, Bundles: bundles, Txs: txs})
+	}
+	p.poke()
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"predis/internal/crypto"
+	"predis/internal/wire"
+)
+
+// TestQuickTipListAtLeast checks the tip-list partial order used by the
+// bundle-monotonicity rule.
+func TestQuickTipListAtLeast(t *testing.T) {
+	f := func(base []uint8, bumps []uint8) bool {
+		if len(base) == 0 {
+			return true
+		}
+		a := make(TipList, len(base))
+		for i, v := range base {
+			a[i] = uint64(v)
+		}
+		// b = a + nonnegative bumps must always be AtLeast a.
+		b := a.Clone()
+		for i, d := range bumps {
+			b[i%len(b)] += uint64(d)
+		}
+		if !b.AtLeast(a) {
+			return false
+		}
+		// A genuine regression breaks the order.
+		r := b.Clone()
+		for i := range r {
+			if r[i] > 0 {
+				r[i]--
+				return !r.AtLeast(b)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCuttingRuleSafety is the §III-D availability property driven
+// with random dissemination patterns: build random chains at each of n_c
+// nodes (each bundle delivered to a random node subset that always
+// includes the producer), exchange one round of tip-advertising bundles,
+// and check that wherever the leader cuts, at least n_c−f nodes actually
+// hold every bundle at or below the cut.
+func TestQuickCuttingRuleSafety(t *testing.T) {
+	const nc, f = 4, 1
+	suite := crypto.NewSimSuite(nc, 77)
+
+	run := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pools := make([]*Mempool, nc)
+		for i := range pools {
+			mp, err := NewMempool(Params{NC: nc, F: f, BundleSize: 4, Signer: suite.Signer(i)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pools[i] = mp
+		}
+		tails := make([]*BundleHeader, nc)
+
+		// holders[producer][height] = set of nodes holding that bundle.
+		holders := make([]map[uint64]map[int]bool, nc)
+		for i := range holders {
+			holders[i] = make(map[uint64]map[int]bool)
+		}
+
+		deliver := func(b *Bundle, to int) {
+			res, _, _, err := pools[to].AddBundle(b, to != int(b.Header.Producer))
+			if err == nil && (res == Added || res == Duplicate) {
+				if holders[b.Header.Producer][b.Header.Height] == nil {
+					holders[b.Header.Producer][b.Header.Height] = make(map[int]bool)
+				}
+				holders[b.Header.Producer][b.Header.Height][to] = true
+			}
+		}
+
+		// Random production: 20 bundles from random producers, each
+		// delivered IN ORDER to a random subset including the producer.
+		for k := 0; k < 20; k++ {
+			p := r.Intn(nc)
+			tips := pools[p].Tips()
+			tips[p]++
+			b := PackBundle(suite.Signer(p), wire.NodeID(p), tails[p], nil, tips)
+			tails[p] = &b.Header
+			deliver(b, p)
+			for n := 0; n < nc; n++ {
+				if n != p && r.Intn(2) == 0 {
+					deliver(b, n)
+				}
+			}
+		}
+		// One tip-exchange round: every node emits an empty bundle carrying
+		// its tips, delivered to everyone (honest heartbeat round).
+		for p := 0; p < nc; p++ {
+			tips := pools[p].Tips()
+			tips[p]++
+			b := PackBundle(suite.Signer(p), wire.NodeID(p), tails[p], nil, tips)
+			tails[p] = &b.Header
+			for n := 0; n < nc; n++ {
+				deliver(b, n)
+			}
+		}
+
+		// Every node acting as leader must cut only quorum-held prefixes.
+		for leader := 0; leader < nc; leader++ {
+			cuts := pools[leader].CutChains(wire.NodeID(leader), ZeroCuts(nc))
+			for chain, cut := range cuts {
+				for h := uint64(1); h <= cut.Height; h++ {
+					if len(holders[chain][h]) < nc-f {
+						t.Fatalf("seed %d: leader %d cut chain %d at %d but height %d held by only %d nodes",
+							seed, leader, chain, cut.Height, h, len(holders[chain][h]))
+					}
+				}
+				// The leader must itself hold the head it references.
+				if cut.Height > 0 && pools[leader].Bundle(wire.NodeID(chain), cut.Height) == nil {
+					t.Fatalf("seed %d: leader %d cut chain %d at %d without holding the head",
+						seed, leader, chain, cut.Height)
+				}
+			}
+		}
+		return true
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		if !run(seed) {
+			t.Fatalf("seed %d failed", seed)
+		}
+	}
+}
+
+// TestQuickBlockRootDeterministic: two mempools with the same bundles
+// produce identical blocks for identical cuts (Theorem 3.3's other half).
+func TestQuickBlockRootDeterministic(t *testing.T) {
+	r1 := newRig(t, 4, 1, 50)
+	populate(r1, 2)
+	blk1, ok1 := r1.pools[0].BuildPredisBlock(1, crypto.ZeroHash, ZeroCuts(4), 0)
+	blk2, ok2 := r1.pools[1].BuildPredisBlock(1, crypto.ZeroHash, ZeroCuts(4), 1)
+	if !ok1 || !ok2 {
+		t.Fatal("no blocks built")
+	}
+	// Different leaders, same mempool content: the cut heights and roots
+	// must agree even though Leader and Sig differ.
+	for i := range blk1.Cuts {
+		if blk1.Cuts[i].Height != blk2.Cuts[i].Height || blk1.Cuts[i].Head != blk2.Cuts[i].Head {
+			t.Fatalf("chain %d cut differs across leaders: %+v vs %+v", i, blk1.Cuts[i], blk2.Cuts[i])
+		}
+	}
+	if blk1.TxRoot != blk2.TxRoot {
+		t.Fatal("tx roots differ for identical content")
+	}
+}

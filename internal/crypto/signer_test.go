@@ -1,0 +1,85 @@
+package crypto
+
+import "testing"
+
+func TestSignerSuites(t *testing.T) {
+	suites := map[string]*SignerSuite{
+		"ed25519": NewEd25519Suite(4, 10),
+		"sim":     NewSimSuite(4, 10),
+	}
+	for name, suite := range suites {
+		t.Run(name, func(t *testing.T) {
+			if suite.Len() != 4 {
+				t.Fatalf("Len = %d", suite.Len())
+			}
+			h := HashBytes([]byte("digest"))
+			for i := 0; i < 4; i++ {
+				s := suite.Signer(i)
+				if s.Index() != i {
+					t.Fatalf("Index = %d, want %d", s.Index(), i)
+				}
+				sig := s.Sign(h)
+				if len(sig) != SignatureSize {
+					t.Fatalf("signature size %d", len(sig))
+				}
+				// Every peer can verify.
+				for j := 0; j < 4; j++ {
+					if !suite.Signer(j).Verify(i, h, sig) {
+						t.Fatalf("node %d cannot verify node %d", j, i)
+					}
+				}
+				// Wrong signer index fails.
+				if suite.Signer(0).Verify((i+1)%4, h, sig) {
+					t.Fatal("signature verified under wrong index")
+				}
+				// Wrong digest fails.
+				if suite.Signer(0).Verify(i, HashBytes([]byte("other")), sig) {
+					t.Fatal("signature verified for wrong digest")
+				}
+				// Corrupted signature fails.
+				bad := append([]byte(nil), sig...)
+				bad[5] ^= 1
+				if suite.Signer(0).Verify(i, h, bad) {
+					t.Fatal("corrupted signature verified")
+				}
+				// Truncated signature fails.
+				if suite.Signer(0).Verify(i, h, sig[:10]) {
+					t.Fatal("short signature verified")
+				}
+			}
+		})
+	}
+}
+
+func TestSimSignerSeedIsolation(t *testing.T) {
+	a := NewSimSigner(0, 1)
+	b := NewSimSigner(0, 2)
+	h := HashBytes([]byte("x"))
+	if b.Verify(0, h, a.Sign(h)) {
+		t.Fatal("signature verified across different suite seeds")
+	}
+}
+
+func BenchmarkEd25519SignVerify(b *testing.B) {
+	s := NewEd25519Suite(4, 1).Signer(0)
+	h := HashBytes([]byte("digest"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sig := s.Sign(h)
+		if !s.Verify(0, h, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkSimSignVerify(b *testing.B) {
+	s := NewSimSigner(0, 1)
+	h := HashBytes([]byte("digest"))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sig := s.Sign(h)
+		if !s.Verify(0, h, sig) {
+			b.Fatal("verify failed")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package env defines the runtime interface between protocol state machines
+// and the network runtime that hosts them.
+//
+// Every protocol in this repository (PBFT, HotStuff, Predis, Multi-Zone,
+// the Narwhal/Stratus baselines) is written as a single-threaded state
+// machine: it reacts to Receive and timer callbacks, and its only effects
+// are Send calls and new timers. The hosting runtime guarantees that all
+// callbacks into one handler are serialized. Two runtimes implement this
+// contract:
+//
+//   - internal/simnet: a deterministic discrete-event simulator running in
+//     virtual time, used by tests and the benchmark harness;
+//   - internal/rtnet: a real-time TCP runtime used by the cmd/ binaries.
+//
+// Because handlers never touch goroutines, locks, or wall-clock time
+// directly, the same protocol code runs unchanged in both.
+package env
+
+import (
+	"math/rand"
+	"time"
+
+	"predis/internal/wire"
+)
+
+// Timer is a cancelable pending callback.
+type Timer interface {
+	// Stop cancels the timer. It reports whether the timer was still
+	// pending (false when it already fired or was stopped).
+	Stop() bool
+}
+
+// Context is the capability surface a protocol handler gets from its
+// runtime. All methods must be called only from within handler callbacks
+// (Receive, timer functions, or Start), which the runtime serializes.
+type Context interface {
+	// ID returns this node's identifier.
+	ID() wire.NodeID
+	// Now returns the current time (virtual in the simulator).
+	Now() time.Time
+	// Send transmits a message to another node. Delivery is asynchronous
+	// and may silently fail (crashed peer, partition, drop injection).
+	// Sending to the local node delivers through the same path.
+	Send(to wire.NodeID, m wire.Message)
+	// After schedules fn to run on this node's executor after d. The
+	// returned Timer can cancel it.
+	After(d time.Duration, fn func()) Timer
+	// Rand returns this node's deterministic random source. It must only
+	// be used from handler callbacks.
+	Rand() *rand.Rand
+	// Logf emits a debug log line attributed to this node.
+	Logf(format string, args ...any)
+}
+
+// Handler is a protocol state machine hosted by a runtime.
+type Handler interface {
+	// Start is called exactly once, before any Receive, with the node's
+	// context. Handlers typically keep the context and arm initial timers.
+	Start(ctx Context)
+	// Receive delivers one message. The runtime serializes all callbacks.
+	Receive(from wire.NodeID, m wire.Message)
+}
+
+// Multicast sends m to every peer in the list, skipping self. It preserves
+// the order of peers, which matters for bandwidth-serialized runtimes: the
+// first peer listed starts receiving first.
+func Multicast(ctx Context, peers []wire.NodeID, m wire.Message) {
+	self := ctx.ID()
+	for _, p := range peers {
+		if p == self {
+			continue
+		}
+		ctx.Send(p, m)
+	}
+}
+
+// HandlerFunc adapts a function to the Handler interface for small test
+// fixtures.
+type HandlerFunc struct {
+	OnStart   func(ctx Context)
+	OnReceive func(from wire.NodeID, m wire.Message)
+}
+
+var _ Handler = (*HandlerFunc)(nil)
+
+// Start implements Handler.
+func (h *HandlerFunc) Start(ctx Context) {
+	if h.OnStart != nil {
+		h.OnStart(ctx)
+	}
+}
+
+// Receive implements Handler.
+func (h *HandlerFunc) Receive(from wire.NodeID, m wire.Message) {
+	if h.OnReceive != nil {
+		h.OnReceive(from, m)
+	}
+}

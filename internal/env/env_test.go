@@ -1,0 +1,64 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"predis/internal/wire"
+)
+
+// fakeCtx is a minimal Context for unit-testing helpers.
+type fakeCtx struct {
+	id    wire.NodeID
+	sends []wire.NodeID
+}
+
+func (f *fakeCtx) ID() wire.NodeID                     { return f.id }
+func (f *fakeCtx) Now() time.Time                      { return time.Time{} }
+func (f *fakeCtx) Send(to wire.NodeID, m wire.Message) { f.sends = append(f.sends, to) }
+func (f *fakeCtx) After(d time.Duration, fn func()) Timer {
+	return nil
+}
+func (f *fakeCtx) Rand() *rand.Rand    { return rand.New(rand.NewSource(1)) }
+func (f *fakeCtx) Logf(string, ...any) {}
+
+type nilMsg struct{}
+
+func (nilMsg) Type() wire.Type            { return 0x7fee }
+func (nilMsg) WireSize() int              { return wire.FrameOverhead }
+func (nilMsg) EncodeBody(e *wire.Encoder) {}
+
+func TestMulticastSkipsSelf(t *testing.T) {
+	ctx := &fakeCtx{id: 2}
+	Multicast(ctx, []wire.NodeID{0, 1, 2, 3}, nilMsg{})
+	if len(ctx.sends) != 3 {
+		t.Fatalf("sent to %d peers, want 3", len(ctx.sends))
+	}
+	for _, to := range ctx.sends {
+		if to == 2 {
+			t.Fatal("multicast sent to self")
+		}
+	}
+	// Order preserved (matters for bandwidth-serialized runtimes).
+	if ctx.sends[0] != 0 || ctx.sends[1] != 1 || ctx.sends[2] != 3 {
+		t.Fatalf("order not preserved: %v", ctx.sends)
+	}
+}
+
+func TestHandlerFunc(t *testing.T) {
+	var started, received bool
+	h := &HandlerFunc{
+		OnStart:   func(ctx Context) { started = true },
+		OnReceive: func(from wire.NodeID, m wire.Message) { received = true },
+	}
+	h.Start(&fakeCtx{})
+	h.Receive(1, nilMsg{})
+	if !started || !received {
+		t.Fatalf("started=%v received=%v", started, received)
+	}
+	// Nil callbacks must not panic.
+	empty := &HandlerFunc{}
+	empty.Start(&fakeCtx{})
+	empty.Receive(1, nilMsg{})
+}

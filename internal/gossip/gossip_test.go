@@ -1,0 +1,167 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"predis/internal/simnet"
+	"predis/internal/topology"
+	"predis/internal/wire"
+)
+
+// randomGraph builds a degree-d undirected random graph over n nodes,
+// guaranteed connected via a ring backbone.
+func randomGraph(n, d int, seed int64) [][]wire.NodeID {
+	r := rand.New(rand.NewSource(seed))
+	adj := make([]map[wire.NodeID]bool, n)
+	for i := range adj {
+		adj[i] = make(map[wire.NodeID]bool)
+	}
+	link := func(a, b int) {
+		if a != b {
+			adj[a][wire.NodeID(b)] = true
+			adj[b][wire.NodeID(a)] = true
+		}
+	}
+	for i := 0; i < n; i++ {
+		link(i, (i+1)%n)
+	}
+	for i := 0; i < n; i++ {
+		for len(adj[i]) < d {
+			link(i, r.Intn(n))
+		}
+	}
+	out := make([][]wire.NodeID, n)
+	for i, set := range adj {
+		for id := range set {
+			out[i] = append(out[i], id)
+		}
+	}
+	return out
+}
+
+func TestGossipReachesEveryone(t *testing.T) {
+	topology.RegisterMessages()
+	const n = 40
+	net := simnet.New(simnet.Config{
+		Uplink: simnet.Mbps100, Downlink: simnet.Mbps100,
+		Latency: simnet.LANLatency(), Seed: 9,
+	})
+	adj := randomGraph(n, 8, 3)
+	arrived := make([]map[uint64]time.Time, n)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		i := i
+		arrived[i] = make(map[uint64]time.Time)
+		nodes[i] = New(Config{
+			Self: wire.NodeID(i), Neighbors: adj[i], Fanout: 4,
+			DigestInterval: 200 * time.Millisecond,
+			OnBlock: func(h uint64, at time.Time) {
+				arrived[i][h] = at
+			},
+		})
+		net.AddNode(wire.NodeID(i), nodes[i])
+	}
+	net.Start()
+	// Seed three blocks of 1 MB from node 0.
+	for h := uint64(1); h <= 3; h++ {
+		nodes[0].Seed(&topology.BlockData{Height: h, Origin: 0, Size: 1 << 20})
+		net.Run(time.Duration(h) * 2 * time.Second)
+	}
+	net.Run(10 * time.Second)
+	for i := 0; i < n; i++ {
+		for h := uint64(1); h <= 3; h++ {
+			if _, ok := arrived[i][h]; !ok {
+				t.Fatalf("node %d never received block %d", i, h)
+			}
+		}
+	}
+}
+
+func TestGossipDigestRepairsPartition(t *testing.T) {
+	topology.RegisterMessages()
+	const n = 12
+	net := simnet.New(simnet.Config{Latency: simnet.UniformLatency(5 * time.Millisecond), Seed: 4})
+	adj := randomGraph(n, 4, 8)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = New(Config{
+			Self: wire.NodeID(i), Neighbors: adj[i], Fanout: 2,
+			DigestInterval: 100 * time.Millisecond,
+		})
+		net.AddNode(wire.NodeID(i), nodes[i])
+	}
+	net.Start()
+	// Cut node 7 off during the push, then heal; digests must repair it.
+	net.SetPartition(func(from, to wire.NodeID) bool { return from == 7 || to == 7 })
+	nodes[0].Seed(&topology.BlockData{Height: 1, Origin: 0, Size: 4096})
+	net.Run(1 * time.Second)
+	if nodes[7].Holds(1) {
+		t.Fatal("partitioned node received the block")
+	}
+	net.SetPartition(nil)
+	net.Run(5 * time.Second)
+	if !nodes[7].Holds(1) {
+		t.Fatal("digest/pull repair did not deliver the block")
+	}
+}
+
+func TestGossipDedupes(t *testing.T) {
+	topology.RegisterMessages()
+	net := simnet.New(simnet.Config{Latency: simnet.UniformLatency(time.Millisecond), Seed: 2})
+	// Triangle with full fanout: duplicates are inevitable and must be
+	// absorbed rather than re-pushed.
+	a := New(Config{Self: 0, Neighbors: []wire.NodeID{1, 2}, Fanout: 2})
+	b := New(Config{Self: 1, Neighbors: []wire.NodeID{0, 2}, Fanout: 2})
+	c := New(Config{Self: 2, Neighbors: []wire.NodeID{0, 1}, Fanout: 2})
+	net.AddNode(0, a)
+	net.AddNode(1, b)
+	net.AddNode(2, c)
+	net.Start()
+	bd := &topology.BlockData{Height: 1, Origin: 0, Size: 128}
+	a.Seed(bd)
+	a.Seed(bd) // second seed is a no-op
+	net.Run(time.Second)
+	if !b.Holds(1) || !c.Holds(1) {
+		t.Fatal("block not delivered")
+	}
+	dupes := uint64(0)
+	for _, n := range []*Node{a, b, c} {
+		_, _, d := n.Stats()
+		dupes += d
+	}
+	if dupes == 0 {
+		t.Fatal("expected duplicate receives in a triangle with full fanout")
+	}
+}
+
+func TestBlockDataCodec(t *testing.T) {
+	topology.RegisterMessages()
+	bd := &topology.BlockData{Height: 9, Origin: 3, Size: 5000}
+	got, err := wire.Roundtrip(bd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := got.(*topology.BlockData)
+	if g.Height != 9 || g.Origin != 3 || g.Size != 5000 {
+		t.Fatalf("roundtrip: %+v", g)
+	}
+	if len(wire.Marshal(bd)) != bd.WireSize() {
+		t.Fatal("BlockData WireSize mismatch")
+	}
+	// Tiny sizes clamp to the minimum body.
+	tiny := &topology.BlockData{Height: 1, Origin: 0, Size: 1}
+	if len(wire.Marshal(tiny)) != tiny.WireSize() {
+		t.Fatal("tiny BlockData WireSize mismatch")
+	}
+
+	dg := &topology.Digest{MaxHeight: 4}
+	if got, err := wire.Roundtrip(dg); err != nil || got.(*topology.Digest).MaxHeight != 4 {
+		t.Fatalf("Digest roundtrip: %v", err)
+	}
+	pl := &topology.Pull{Heights: []uint64{1, 2, 3}}
+	if got, err := wire.Roundtrip(pl); err != nil || len(got.(*topology.Pull).Heights) != 3 {
+		t.Fatalf("Pull roundtrip: %v", err)
+	}
+}

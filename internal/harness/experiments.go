@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"predis/internal/stats"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks durations and sweep sizes so the whole suite runs in
+	// roughly a minute; full mode approaches the paper's configurations.
+	Quick bool
+	// Seed drives every simulation in the experiment.
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiment regenerates one figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]*stats.Table, error)
+}
+
+// Registry lists every experiment, in figure order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"fig4a", "Fig. 4(a): PBFT vs P-PBFT, bundle/batch sizes (WAN, nc=4)", Fig4a},
+		{"fig4b", "Fig. 4(b): HotStuff vs P-HS, bundle/batch sizes (WAN, nc=4)", Fig4b},
+		{"fig4c", "Fig. 4(c): PBFT vs P-PBFT scalability (nc=4,8,16)", Fig4c},
+		{"fig4d", "Fig. 4(d): HotStuff vs P-HS scalability (nc=4,8,16)", Fig4d},
+		{"fig5wan", "Fig. 5(a,b): Predis vs Narwhal vs Stratus (WAN)", Fig5WAN},
+		{"fig5lan", "Fig. 5(c,d): Predis vs Narwhal vs Stratus (LAN)", Fig5LAN},
+		{"fig6", "Fig. 6: Predis under faults (nc=8)", Fig6},
+		{"fig7", "Fig. 7: Multi-Zone vs star topology throughput", Fig7},
+		{"fig8", "Fig. 8: block propagation latency (star/random/Multi-Zone)", Fig8},
+	}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("harness: unknown experiment %q (have %v)", id, ids)
+}

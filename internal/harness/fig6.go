@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"time"
+
+	"predis/internal/core"
+	"predis/internal/stats"
+	"predis/internal/wire"
+)
+
+// Fig6 reproduces "Predis under Faults": nc = 8, with f ∈ {0, 1, 2}
+// malicious nodes behaving per case 1 (silent: no bundles, no votes) or
+// case 2 (refuse to vote, send bundles to only n_c−f−1 random peers).
+// The paper reports case-1 throughput ≈ (8−f)/8 of normal and case-2
+// throughput between case 1 and normal with higher latency.
+func Fig6(o Options) ([]*stats.Table, error) {
+	duration := 6 * time.Second
+	offered := 16000.0
+	if o.Quick {
+		duration = 3 * time.Second
+		offered = 10000
+	}
+	cases := []struct {
+		name string
+		mode core.FaultMode
+	}{
+		{"normal", core.FaultNone},
+		{"case1-silent", core.FaultSilent},
+		{"case2-partial", core.FaultPartial},
+	}
+	tput := &stats.Table{Title: "Fig.6 Predis under faults (nc=8) — throughput (tx/s) vs f", XLabel: "f"}
+	lat := &stats.Table{Title: "Fig.6 Predis under faults (nc=8) — latency (ms) vs f", XLabel: "f"}
+	for _, c := range cases {
+		ts := &stats.Series{Name: c.name}
+		ls := &stats.Series{Name: c.name}
+		for _, f := range []int{0, 1, 2} {
+			if c.mode == core.FaultNone && f > 0 {
+				continue // "normal" is a single reference point
+			}
+			faults := make(map[wire.NodeID]core.FaultMode)
+			for k := 0; k < f; k++ {
+				// Faulty nodes are non-leaders so throughput, not view
+				// changes, dominates the measurement (the paper's cases
+				// keep the leader honest).
+				faults[wire.NodeID(7-k)] = c.mode
+			}
+			res, err := RunPoint(PointSpec{
+				System:   SysPPBFT,
+				NC:       8,
+				F:        2,
+				Offered:  offered,
+				Clients:  8,
+				Duration: duration,
+				Seed:     o.seed(),
+				Faults:   faults,
+			})
+			if err != nil {
+				return nil, err
+			}
+			ts.Add(float64(f), res.Throughput)
+			ls.Add(float64(f), float64(res.Latency.Mean)/float64(time.Millisecond))
+		}
+		tput.Series = append(tput.Series, ts)
+		lat.Series = append(lat.Series, ls)
+	}
+	return []*stats.Table{tput, lat}, nil
+}

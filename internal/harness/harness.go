@@ -1,0 +1,224 @@
+// Package harness defines the reproducible experiments behind every figure
+// in the paper's evaluation (§V). Each experiment builds a simulated
+// deployment, runs it in virtual time, and reports the same series the
+// paper plots; bench_test.go and cmd/predis-bench expose them.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"predis/internal/core"
+	"predis/internal/crypto"
+	"predis/internal/multizone"
+	"predis/internal/node"
+	"predis/internal/simnet"
+	"predis/internal/stats"
+	"predis/internal/types"
+	"predis/internal/wire"
+	"predis/internal/workload"
+)
+
+// System names the data production strategies under test, using the
+// paper's labels.
+type System string
+
+// Systems.
+const (
+	SysPBFT     System = "PBFT"
+	SysPPBFT    System = "P-PBFT"
+	SysHotStuff System = "HotStuff"
+	SysPHS      System = "P-HS"
+	SysNarwhal  System = "Narwhal"
+	SysStratus  System = "Stratus"
+)
+
+// modeEngine maps a system to its node configuration.
+func modeEngine(sys System) (node.Mode, node.EngineKind, error) {
+	switch sys {
+	case SysPBFT:
+		return node.ModeBaseline, node.EnginePBFT, nil
+	case SysPPBFT:
+		return node.ModePredis, node.EnginePBFT, nil
+	case SysHotStuff:
+		return node.ModeBaseline, node.EngineHotStuff, nil
+	case SysPHS:
+		return node.ModePredis, node.EngineHotStuff, nil
+	case SysNarwhal:
+		return node.ModeNarwhal, node.EngineHotStuff, nil
+	case SysStratus:
+		return node.ModeStratus, node.EngineHotStuff, nil
+	default:
+		return 0, 0, fmt.Errorf("harness: unknown system %q", sys)
+	}
+}
+
+// PointSpec describes one throughput/latency measurement.
+type PointSpec struct {
+	System     System
+	NC, F      int
+	BundleSize int // bundle / microblock size (Predis, Narwhal, Stratus)
+	BatchSize  int // batch size (baseline PBFT / HotStuff)
+	WAN        bool
+	Offered    float64 // total offered load, tx/s
+	Clients    int
+	Duration   time.Duration
+	Seed       int64
+	Faults     map[wire.NodeID]core.FaultMode
+}
+
+func (s *PointSpec) withDefaults() PointSpec {
+	out := *s
+	if out.NC == 0 {
+		out.NC = 4
+	}
+	if out.F == 0 {
+		out.F = (out.NC - 1) / 3
+	}
+	if out.BundleSize == 0 {
+		out.BundleSize = 50
+	}
+	if out.BatchSize == 0 {
+		out.BatchSize = 800
+	}
+	if out.Clients == 0 {
+		out.Clients = 4
+	}
+	if out.Duration == 0 {
+		out.Duration = 5 * time.Second
+	}
+	if out.Seed == 0 {
+		out.Seed = 1
+	}
+	return out
+}
+
+// PointResult is the outcome of one measurement.
+type PointResult struct {
+	Throughput       float64 // consensus-side committed tx/s
+	ClientThroughput float64 // client-confirmed tx/s
+	Latency          stats.Summary
+	Blocks           int
+	ViewOrTimeouts   uint64
+}
+
+// RunPoint builds the deployment for one spec, runs it, and measures.
+func RunPoint(spec PointSpec) (PointResult, error) {
+	s := spec.withDefaults()
+	mode, engine, err := modeEngine(s.System)
+	if err != nil {
+		return PointResult{}, err
+	}
+	node.RegisterAllMessages()
+	multizone.RegisterMessages()
+
+	latency := simnet.LANLatency()
+	if s.WAN {
+		latency = simnet.WANLatency()
+	}
+	net := simnet.New(simnet.Config{
+		Uplink:   simnet.Mbps100,
+		Downlink: simnet.Mbps100,
+		Latency:  latency,
+		Seed:     s.Seed,
+	})
+	warm := simnet.Epoch.Add(s.Duration / 4)
+	end := simnet.Epoch.Add(s.Duration)
+	col := workload.NewCollector(warm, end)
+
+	suite := crypto.NewSimSuite(s.NC, uint64(s.Seed)+100)
+	nodes := make([]*node.Node, s.NC)
+	for i := 0; i < s.NC; i++ {
+		i := i
+		fault := core.FaultNone
+		if s.Faults != nil {
+			fault = s.Faults[wire.NodeID(i)]
+		}
+		n, err := node.New(node.Config{
+			Mode:           mode,
+			Engine:         engine,
+			NC:             s.NC,
+			F:              s.F,
+			Self:           wire.NodeID(i),
+			Signer:         suite.Signer(i),
+			BatchSize:      s.BatchSize,
+			BundleSize:     s.BundleSize,
+			BundleInterval: 20 * time.Millisecond,
+			ViewTimeout:    2 * time.Second,
+			Fault:          fault,
+			ReplyToClients: true,
+			OnCommit: func(height uint64, txs []*types.Transaction) {
+				if i == 0 {
+					col.RecordNodeCommit(net.Now(), len(txs))
+				}
+			},
+		})
+		if err != nil {
+			return PointResult{}, err
+		}
+		nodes[i] = n
+		net.AddNode(wire.NodeID(i), n)
+	}
+
+	targets := make([]wire.NodeID, s.NC)
+	for i := range targets {
+		targets[i] = wire.NodeID(i)
+	}
+	policy := workload.RoundRobin
+	if mode == node.ModeBaseline {
+		policy = workload.Broadcast
+	}
+	perClient := s.Offered / float64(s.Clients)
+	for k := 0; k < s.Clients; k++ {
+		cl := workload.NewClient(workload.ClientConfig{
+			Self:      wire.NodeID(1000 + k),
+			Targets:   targets,
+			Policy:    policy,
+			Rate:      perClient,
+			TxSize:    types.DefaultTxSize,
+			F:         s.F,
+			Epoch:     simnet.Epoch,
+			GenStart:  simnet.Epoch.Add(50 * time.Millisecond),
+			GenStop:   end,
+			Collector: col,
+		})
+		net.AddNode(wire.NodeID(1000+k), cl)
+	}
+
+	net.Start()
+	net.Run(s.Duration)
+
+	_, _, committed, blocks := col.Counts()
+	_ = committed
+	res := PointResult{
+		Throughput:       col.Throughput(),
+		ClientThroughput: col.ClientThroughput(),
+		Latency:          col.Latency(),
+		Blocks:           blocks,
+	}
+	// Engine diagnostics from node 0.
+	switch e := nodes[0].Engine().(type) {
+	case interface{ Stats() (uint64, uint64) }:
+		_, res.ViewOrTimeouts = e.Stats()
+	}
+	return res, nil
+}
+
+// LoadSweep runs a spec across offered loads and returns (throughput,
+// latency-ms) pairs — one line of a throughput-latency figure.
+func LoadSweep(base PointSpec, loads []float64) (*stats.Series, *stats.Series, error) {
+	tl := &stats.Series{Name: string(base.System)}
+	lat := &stats.Series{Name: string(base.System)}
+	for _, load := range loads {
+		spec := base
+		spec.Offered = load
+		res, err := RunPoint(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		ms := float64(res.Latency.Mean) / float64(time.Millisecond)
+		tl.Add(load, res.Throughput)
+		lat.Add(res.Throughput, ms)
+	}
+	return tl, lat, nil
+}

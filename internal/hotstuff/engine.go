@@ -1,0 +1,556 @@
+package hotstuff
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"predis/internal/consensus"
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/wire"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// N is the number of replicas; IDs must be 0..N-1.
+	N int
+	// Self is this replica's ID.
+	Self wire.NodeID
+	// App supplies and consumes payloads.
+	App consensus.Application
+	// Signer signs and verifies protocol messages.
+	Signer crypto.Signer
+	// ViewTimeout is the base pacemaker timeout; it doubles per
+	// consecutive timeout. Default 2s.
+	ViewTimeout time.Duration
+	// ReproposeInterval is how often an idle leader re-asks the app for a
+	// proposal. Default 10ms.
+	ReproposeInterval time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ViewTimeout <= 0 {
+		out.ViewTimeout = 2 * time.Second
+	}
+	if out.ReproposeInterval <= 0 {
+		out.ReproposeInterval = 10 * time.Millisecond
+	}
+	return out
+}
+
+// blockEnt is a node in the local block tree.
+type blockEnt struct {
+	block     *Block
+	hash      crypto.Hash
+	validated bool
+	invalid   bool
+	committed bool
+}
+
+// Engine is a chained-HotStuff replica implementing consensus.Engine.
+type Engine struct {
+	cfg Config
+	ctx env.Context
+	f   int
+	quo int
+
+	curView       uint64
+	lastVotedView uint64
+	highQC        *QC
+	lockedQC      *QC
+
+	blocks map[crypto.Hash]*blockEnt
+
+	// execHead is the hash of the last executed block; execHeight its
+	// height. Committed-but-unexecuted blocks (pending app validation)
+	// queue behind it in chain order.
+	execHead   crypto.Hash
+	execHeight uint64
+
+	// commitQueue holds committed blocks awaiting execution, oldest first.
+	commitQueue []*blockEnt
+
+	// votes collected by this replica as next leader, per block hash.
+	votes map[crypto.Hash]*QC // keyed by voteDigest(view, block)
+
+	// newViews collected per view.
+	newViews map[uint64]map[wire.NodeID]*QC
+
+	proposedInView uint64 // last view in which we proposed
+
+	pacemaker env.Timer
+	repropose env.Timer
+	backoff   int
+
+	peers []wire.NodeID
+
+	// stats
+	committed uint64
+	timeouts  uint64
+}
+
+var _ consensus.Engine = (*Engine)(nil)
+
+// New builds a HotStuff replica.
+func New(cfg Config) (*Engine, error) {
+	c := cfg.withDefaults()
+	if c.N < 1 || int(c.Self) >= c.N {
+		return nil, fmt.Errorf("hotstuff: bad N=%d Self=%d", c.N, c.Self)
+	}
+	if c.App == nil || c.Signer == nil {
+		return nil, errors.New("hotstuff: App and Signer are required")
+	}
+	peers := make([]wire.NodeID, c.N)
+	for i := range peers {
+		peers[i] = wire.NodeID(i)
+	}
+	e := &Engine{
+		cfg:      c,
+		f:        consensus.FaultBound(c.N),
+		quo:      consensus.Quorum(c.N),
+		curView:  1,
+		highQC:   GenesisQC(),
+		lockedQC: GenesisQC(),
+		blocks:   make(map[crypto.Hash]*blockEnt),
+		votes:    make(map[crypto.Hash]*QC),
+		newViews: make(map[uint64]map[wire.NodeID]*QC),
+		peers:    peers,
+	}
+	// Seed the tree with the implicit genesis block.
+	e.blocks[crypto.ZeroHash] = &blockEnt{
+		block:     &Block{Height: 0, View: 0, Justify: GenesisQC()},
+		hash:      crypto.ZeroHash,
+		validated: true,
+		committed: true,
+	}
+	return e, nil
+}
+
+// View returns the current view.
+func (e *Engine) View() uint64 { return e.curView }
+
+// LastExecuted returns the height of the last executed block.
+func (e *Engine) LastExecuted() uint64 { return e.execHeight }
+
+// Stats returns (blocks committed, pacemaker timeouts).
+func (e *Engine) Stats() (committed, timeouts uint64) { return e.committed, e.timeouts }
+
+// Leader returns the leader of the current view.
+func (e *Engine) Leader() wire.NodeID { return consensus.LeaderOf(e.curView, e.cfg.N) }
+
+func (e *Engine) leaderOf(view uint64) wire.NodeID { return consensus.LeaderOf(view, e.cfg.N) }
+
+func (e *Engine) isLeader() bool { return e.Leader() == e.cfg.Self }
+
+// Start implements env.Handler.
+func (e *Engine) Start(ctx env.Context) {
+	e.ctx = ctx
+	e.armRepropose()
+	e.tryPropose()
+}
+
+// Poke implements consensus.Engine.
+func (e *Engine) Poke() {
+	if e.ctx == nil {
+		return
+	}
+	e.tryExecute()
+	e.retryPendingVotes()
+	e.tryPropose()
+	if e.pacemaker == nil && e.hasPendingWork() {
+		e.armPacemaker()
+	}
+}
+
+func (e *Engine) hasPendingWork() bool {
+	if wr, ok := e.cfg.App.(consensus.WorkReporter); ok {
+		return wr.HasPendingWork()
+	}
+	return false
+}
+
+func (e *Engine) armRepropose() {
+	e.repropose = e.ctx.After(e.cfg.ReproposeInterval, func() {
+		e.tryPropose()
+		e.armRepropose()
+	})
+}
+
+func (e *Engine) armPacemaker() {
+	timeout := e.cfg.ViewTimeout << uint(e.backoff)
+	view := e.curView
+	e.pacemaker = e.ctx.After(timeout, func() {
+		e.pacemaker = nil
+		if e.curView != view {
+			return // progress happened; a fresh timer was armed
+		}
+		if !e.hasPendingWork() && len(e.commitQueue) == 0 {
+			return
+		}
+		e.onTimeout()
+	})
+}
+
+func (e *Engine) resetPacemaker() {
+	if e.pacemaker != nil {
+		e.pacemaker.Stop()
+		e.pacemaker = nil
+	}
+}
+
+// onTimeout advances the view and tells the new leader.
+func (e *Engine) onTimeout() {
+	e.timeouts++
+	e.backoff++
+	e.advanceView(e.curView + 1)
+	nv := &NewViewMsg{View: e.curView, HighQC: e.highQC, Replica: e.cfg.Self}
+	nv.Sig = e.cfg.Signer.Sign(nv.signDigest())
+	leader := e.Leader()
+	if leader == e.cfg.Self {
+		e.onNewView(e.cfg.Self, nv)
+	} else {
+		e.ctx.Send(leader, nv)
+	}
+}
+
+// advanceView moves to the given view (monotonic) and re-arms the
+// pacemaker when work remains.
+func (e *Engine) advanceView(view uint64) {
+	if view <= e.curView {
+		return
+	}
+	e.curView = view
+	e.resetPacemaker()
+	if e.hasPendingWork() || len(e.commitQueue) > 0 {
+		e.armPacemaker()
+	}
+}
+
+// tryPropose proposes in the current view when this replica leads it and
+// has not proposed yet. The new block extends highQC's block.
+func (e *Engine) tryPropose() {
+	if e.ctx == nil || !e.isLeader() || e.proposedInView >= e.curView {
+		return
+	}
+	// Liveness precondition: leading view v requires either the QC of
+	// v−1 or a quorum of NewView(v) messages.
+	if !(e.highQC.View == e.curView-1 || len(e.newViews[e.curView]) >= e.quo) {
+		return
+	}
+	parentEnt := e.blocks[e.highQC.Block]
+	if parentEnt == nil {
+		return // should not happen: highQC implies we saw the block
+	}
+	height := parentEnt.block.Height + 1
+	payload, _, ok := e.cfg.App.BuildProposal(height, parentEnt.block.Payload)
+	if !ok {
+		return
+	}
+	b := &Block{
+		Height:  height,
+		View:    e.curView,
+		Parent:  e.highQC.Block,
+		Justify: e.highQC,
+		Payload: payload,
+		Leader:  e.cfg.Self,
+	}
+	b.Sig = e.cfg.Signer.Sign(b.Hash())
+	e.proposedInView = e.curView
+	prop := &Proposal{Block: b}
+	env.Multicast(e.ctx, e.peers, prop)
+	e.onProposal(e.cfg.Self, prop)
+}
+
+// Receive implements env.Handler.
+func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *Proposal:
+		e.onProposal(from, msg)
+	case *Vote:
+		e.onVote(from, msg)
+	case *NewViewMsg:
+		e.onNewView(from, msg)
+	default:
+		e.ctx.Logf("hotstuff: unexpected message %s from %d", wire.TypeName(m.Type()), from)
+	}
+}
+
+func (e *Engine) onProposal(from wire.NodeID, m *Proposal) {
+	b := m.Block
+	if b.Leader != e.leaderOf(b.View) || (from != b.Leader && from != e.cfg.Self) {
+		return
+	}
+	hash := b.Hash()
+	if _, seen := e.blocks[hash]; seen {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(b.Leader), hash, b.Sig) {
+		return
+	}
+	if !b.Justify.Verify(e.cfg.Signer, e.cfg.N, e.quo) {
+		return
+	}
+	if b.Justify.Block != b.Parent {
+		return // a block must extend the block its QC certifies
+	}
+	parent, ok := e.blocks[b.Parent]
+	if !ok || b.Height != parent.block.Height+1 {
+		// Unknown parent (we fell behind) — chained HotStuff recovers via
+		// subsequent QCs; without the parent we cannot validate.
+		return
+	}
+	ent := &blockEnt{block: b, hash: hash}
+	e.blocks[hash] = ent
+
+	e.processQC(b.Justify)
+	e.advanceView(b.View) // seeing a valid proposal for view v synchronizes us into it
+	e.tryVote(ent)
+	e.tryPropose() // the parent we were waiting for may have arrived
+}
+
+// tryVote applies the chained-HotStuff voting rule and the application's
+// semantic validation; on success it sends a vote to the next leader.
+func (e *Engine) tryVote(ent *blockEnt) {
+	b := ent.block
+	if b.View < e.curView || b.View <= e.lastVotedView || ent.invalid {
+		return
+	}
+	// Safety rule: extend the locked block, or see a higher QC.
+	if !(b.Justify.View > e.lockedQC.View || e.extendsLocked(b)) {
+		return
+	}
+	if !ent.validated {
+		parent := e.blocks[b.Parent]
+		if parent == nil {
+			return
+		}
+		_, err := e.cfg.App.ValidateProposal(b.Height, b.Payload, parent.block.Payload)
+		switch {
+		case err == nil:
+			ent.validated = true
+		case errors.Is(err, consensus.ErrPending):
+			return // Poke retries via retryPendingVotes
+		default:
+			ent.invalid = true
+			return
+		}
+	}
+	e.lastVotedView = b.View
+	vote := &Vote{View: b.View, Block: ent.hash, Replica: e.cfg.Self}
+	vote.Sig = e.cfg.Signer.Sign(voteDigest(vote.View, vote.Block))
+	next := e.leaderOf(b.View + 1)
+	if next == e.cfg.Self {
+		e.onVote(e.cfg.Self, vote)
+	} else {
+		e.ctx.Send(next, vote)
+	}
+}
+
+// retryPendingVotes revisits blocks whose validation was pending (missing
+// bundles) and votes if the view is still current.
+func (e *Engine) retryPendingVotes() {
+	for _, ent := range e.blocks {
+		if !ent.validated && !ent.invalid && !ent.committed && ent.block.View >= e.curView {
+			e.tryVote(ent)
+		}
+	}
+}
+
+func (e *Engine) extendsLocked(b *Block) bool {
+	if e.lockedQC.IsGenesis() {
+		return true
+	}
+	// Walk ancestors until we pass the locked block's height.
+	locked, ok := e.blocks[e.lockedQC.Block]
+	if !ok {
+		return true
+	}
+	cur := b
+	for {
+		if cur.Parent == e.lockedQC.Block {
+			return true
+		}
+		parent, ok := e.blocks[cur.Parent]
+		if !ok || parent.block.Height <= locked.block.Height {
+			return false
+		}
+		cur = parent.block
+	}
+}
+
+func (e *Engine) onVote(from wire.NodeID, m *Vote) {
+	if m.Replica != from {
+		return
+	}
+	if e.leaderOf(m.View+1) != e.cfg.Self {
+		return // not the collector for this view
+	}
+	if int(m.Replica) >= e.cfg.N {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Replica), voteDigest(m.View, m.Block), m.Sig) {
+		return
+	}
+	key := voteDigest(m.View, m.Block) // bind view+block so forged views cannot poison a QC
+	qc := e.votes[key]
+	if qc == nil {
+		qc = &QC{View: m.View, Block: m.Block}
+		e.votes[key] = qc
+	}
+	for _, id := range qc.Signers {
+		if id == m.Replica {
+			return // duplicate
+		}
+	}
+	qc.Signers = append(qc.Signers, m.Replica)
+	qc.Sigs = append(qc.Sigs, m.Sig)
+	if len(qc.Signers) >= e.quo {
+		delete(e.votes, key)
+		e.processQC(qc)
+		e.advanceView(qc.View + 1)
+		e.backoff = 0
+		e.tryPropose()
+	}
+}
+
+func (e *Engine) onNewView(from wire.NodeID, m *NewViewMsg) {
+	if m.Replica != from || int(m.Replica) >= e.cfg.N {
+		return
+	}
+	if e.leaderOf(m.View) != e.cfg.Self || m.View < e.curView {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Replica), m.signDigest(), m.Sig) {
+		return
+	}
+	if !m.HighQC.Verify(e.cfg.Signer, e.cfg.N, e.quo) {
+		return
+	}
+	e.processQC(m.HighQC)
+	byReplica, ok := e.newViews[m.View]
+	if !ok {
+		byReplica = make(map[wire.NodeID]*QC)
+		e.newViews[m.View] = byReplica
+	}
+	byReplica[m.Replica] = m.HighQC
+	if len(byReplica) >= e.quo {
+		e.advanceView(m.View)
+		e.tryPropose()
+	}
+}
+
+// processQC folds a certificate into local state: raise highQC, update the
+// lock (two-chain), and commit (three-chain).
+func (e *Engine) processQC(qc *QC) {
+	if qc.IsGenesis() {
+		return
+	}
+	if qc.View > e.highQC.View {
+		e.highQC = qc
+	}
+	// b'' = block certified by qc; b' = parent; b = grandparent.
+	b2, ok := e.blocks[qc.Block]
+	if !ok {
+		return
+	}
+	b1, ok := e.blocks[b2.block.Parent]
+	if !ok || b1.block.Height == b2.block.Height {
+		return
+	}
+	// Two-chain lock: adopt the certified block's justify (the QC of b')
+	// whenever it is newer than the current lock.
+	if b2.block.Justify.View > e.lockedQC.View {
+		e.lockedQC = b2.block.Justify
+	}
+	b0, ok := e.blocks[b1.block.Parent]
+	if !ok {
+		return
+	}
+	// Three-chain commit: consecutive views b–b'–b'' commit b.
+	if b2.block.View == b1.block.View+1 && b1.block.View == b0.block.View+1 {
+		e.commitUpTo(b0)
+	}
+}
+
+// commitUpTo marks b0 and all uncommitted ancestors committed, queues them
+// in chain order, and tries to execute.
+func (e *Engine) commitUpTo(b0 *blockEnt) {
+	if b0.committed {
+		return
+	}
+	var chain []*blockEnt
+	cur := b0
+	for !cur.committed {
+		chain = append(chain, cur)
+		parent, ok := e.blocks[cur.block.Parent]
+		if !ok {
+			break
+		}
+		cur = parent
+	}
+	// chain is newest→oldest; append oldest-first to the queue.
+	for i := len(chain) - 1; i >= 0; i-- {
+		chain[i].committed = true
+		e.commitQueue = append(e.commitQueue, chain[i])
+	}
+	e.tryExecute()
+}
+
+// tryExecute delivers committed blocks in chain order, gating each on
+// application validation (a replica may learn a block committed before it
+// can reconstruct it, e.g. with bundles still in flight).
+func (e *Engine) tryExecute() {
+	for len(e.commitQueue) > 0 {
+		ent := e.commitQueue[0]
+		if ent.block.Parent != e.execHead {
+			// Should not happen: commit order follows the chain.
+			e.ctx.Logf("hotstuff: commit queue out of order at height %d", ent.block.Height)
+			return
+		}
+		if !ent.validated {
+			parent := e.blocks[ent.block.Parent]
+			_, err := e.cfg.App.ValidateProposal(ent.block.Height, ent.block.Payload, parent.block.Payload)
+			if err != nil {
+				if !errors.Is(err, consensus.ErrPending) {
+					// A committed block the app rejects outright would be a
+					// quorum of faulty validators; log loudly.
+					e.ctx.Logf("hotstuff: committed block failed validation: %v", err)
+				}
+				return
+			}
+			ent.validated = true
+		}
+		e.commitQueue = e.commitQueue[1:]
+		e.execHead = ent.hash
+		e.execHeight = ent.block.Height
+		e.committed++
+		e.resetPacemaker()
+		e.cfg.App.OnCommit(ent.block.Height, ent.block.Payload)
+		e.pruneBelow(ent.block.Height)
+		if e.hasPendingWork() || len(e.commitQueue) > 0 {
+			e.armPacemaker()
+		}
+	}
+}
+
+// pruneBelow drops block-tree entries well below the executed height to
+// bound memory; a margin is kept for late votes and ancestor walks.
+func (e *Engine) pruneBelow(height uint64) {
+	const margin = 64
+	if height <= margin {
+		return
+	}
+	floor := height - margin
+	for h, ent := range e.blocks {
+		if ent.block.Height < floor && h != crypto.ZeroHash && ent.hash != e.execHead {
+			delete(e.blocks, h)
+		}
+	}
+	for v := range e.newViews {
+		if v+margin < e.curView {
+			delete(e.newViews, v)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package ledger is the committed-block store a full node maintains (§II:
+// "a full node maintains the history of the ledger and stands at the
+// service of clients"). It records the hash-linked chain of committed
+// blocks — height, block hash, parent hash, transaction root and count,
+// plus optionally the transaction hashes — in memory with an optional
+// append-only file behind it, so a node can restart and resume from its
+// persisted history.
+//
+// The store is independent of consensus flavor: P-PBFT, P-HS, and the
+// baselines all produce a hash-linked sequence the ledger can record.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"predis/internal/crypto"
+	"predis/internal/wire"
+)
+
+// Entry is one committed block's record.
+type Entry struct {
+	Height  uint64
+	Hash    crypto.Hash
+	Parent  crypto.Hash
+	TxRoot  crypto.Hash
+	TxCount uint32
+	// TxHashes is present when the ledger stores bodies.
+	TxHashes []crypto.Hash
+}
+
+// encodedSize returns the record body size on disk.
+func (e *Entry) encodedSize() int {
+	return 8 + 32 + 32 + 32 + 4 + 4 + 32*len(e.TxHashes)
+}
+
+func (e *Entry) encodeTo(enc *wire.Encoder) {
+	enc.U64(e.Height)
+	enc.Bytes32(e.Hash)
+	enc.Bytes32(e.Parent)
+	enc.Bytes32(e.TxRoot)
+	enc.U32(e.TxCount)
+	enc.U32(uint32(len(e.TxHashes)))
+	for _, h := range e.TxHashes {
+		enc.Bytes32(h)
+	}
+}
+
+func decodeEntry(d *wire.Decoder) (*Entry, error) {
+	e := &Entry{
+		Height:  d.U64(),
+		Hash:    d.Bytes32(),
+		Parent:  d.Bytes32(),
+		TxRoot:  d.Bytes32(),
+		TxCount: d.U32(),
+	}
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > d.Remaining()/32 {
+		return nil, wire.ErrTruncated
+	}
+	e.TxHashes = make([]crypto.Hash, n)
+	for i := range e.TxHashes {
+		e.TxHashes[i] = d.Bytes32()
+	}
+	return e, d.Err()
+}
+
+// Errors.
+var (
+	ErrOutOfOrder = errors.New("ledger: append out of order")
+	ErrBadParent  = errors.New("ledger: parent hash does not match head")
+	ErrNotFound   = errors.New("ledger: no such block")
+	ErrCorrupt    = errors.New("ledger: corrupt record")
+)
+
+// Ledger is the store. Safe for concurrent use: protocol handlers append
+// from their executor while other goroutines (CLIs, servers) read.
+type Ledger struct {
+	mu      sync.RWMutex
+	entries []Entry
+	byHash  map[crypto.Hash]int
+	file    *os.File
+	sync    bool
+}
+
+// Option configures a Ledger.
+type Option func(*Ledger)
+
+// WithSync fsyncs after every append (durable but slower).
+func WithSync() Option {
+	return func(l *Ledger) { l.sync = true }
+}
+
+// New creates an in-memory ledger.
+func New(opts ...Option) *Ledger {
+	l := &Ledger{byHash: make(map[crypto.Hash]int)}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Open creates (or reloads) a file-backed ledger at path. Records already
+// on disk are loaded and validated; a trailing partial record (torn write)
+// is truncated away.
+func Open(path string, opts ...Option) (*Ledger, error) {
+	l := New(opts...)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: open %s: %w", path, err)
+	}
+	l.file = f
+	valid, err := l.reload()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// reload parses the file and returns the length of its valid prefix.
+func (l *Ledger) reload() (int64, error) {
+	data, err := io.ReadAll(l.file)
+	if err != nil {
+		return 0, err
+	}
+	off := int64(0)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < 4 {
+			break // torn length prefix
+		}
+		d := wire.NewDecoder(rest)
+		recLen := int(d.U32())
+		if recLen <= 0 || recLen > len(rest)-4 {
+			break // torn record
+		}
+		e, err := decodeEntry(wire.NewDecoder(rest[4 : 4+recLen]))
+		if err != nil {
+			break
+		}
+		if err := l.appendMem(*e); err != nil {
+			return 0, fmt.Errorf("%w at offset %d: %v", ErrCorrupt, off, err)
+		}
+		off += int64(4 + recLen)
+	}
+	return off, nil
+}
+
+// Close releases the backing file.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	err := l.file.Close()
+	l.file = nil
+	return err
+}
+
+// appendMem validates chain linkage and appends in memory.
+func (l *Ledger) appendMem(e Entry) error {
+	if e.Height != uint64(len(l.entries))+1 {
+		return fmt.Errorf("%w: height %d, want %d", ErrOutOfOrder, e.Height, len(l.entries)+1)
+	}
+	if len(l.entries) == 0 {
+		if !e.Parent.IsZero() {
+			return fmt.Errorf("%w: first block must have zero parent", ErrBadParent)
+		}
+	} else if prev := l.entries[len(l.entries)-1]; e.Parent != prev.Hash {
+		return fmt.Errorf("%w: height %d", ErrBadParent, e.Height)
+	}
+	l.entries = append(l.entries, e)
+	l.byHash[e.Hash] = len(l.entries) - 1
+	return nil
+}
+
+// Append records a committed block. Blocks must arrive in chain order.
+func (l *Ledger) Append(e Entry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendMem(e); err != nil {
+		return err
+	}
+	if l.file == nil {
+		return nil
+	}
+	enc := wire.NewEncoder(4 + e.encodedSize())
+	at := enc.Skip(4)
+	e.encodeTo(enc)
+	enc.PatchU32(at, uint32(enc.Len()-4))
+	if _, err := l.file.Write(enc.Bytes()); err != nil {
+		return fmt.Errorf("ledger: write: %w", err)
+	}
+	if l.sync {
+		if err := l.file.Sync(); err != nil {
+			return fmt.Errorf("ledger: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Len returns the number of committed blocks.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Head returns the latest entry; ok=false when empty.
+func (l *Ledger) Head() (Entry, bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.entries) == 0 {
+		return Entry{}, false
+	}
+	return l.entries[len(l.entries)-1], true
+}
+
+// Get returns the entry at a height (1-based).
+func (l *Ledger) Get(height uint64) (Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if height == 0 || height > uint64(len(l.entries)) {
+		return Entry{}, fmt.Errorf("%w: height %d of %d", ErrNotFound, height, len(l.entries))
+	}
+	return l.entries[height-1], nil
+}
+
+// GetByHash returns the entry with the given block hash.
+func (l *Ledger) GetByHash(h crypto.Hash) (Entry, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	i, ok := l.byHash[h]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: hash %s", ErrNotFound, h.Short())
+	}
+	return l.entries[i], nil
+}
+
+// TotalTxs sums transaction counts across the chain.
+func (l *Ledger) TotalTxs() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var n uint64
+	for _, e := range l.entries {
+		n += uint64(e.TxCount)
+	}
+	return n
+}
+
+// VerifyChain re-checks every parent link; it is cheap insurance after a
+// reload from disk.
+func (l *Ledger) VerifyChain() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	prev := crypto.ZeroHash
+	for i, e := range l.entries {
+		if e.Height != uint64(i)+1 {
+			return fmt.Errorf("%w: height %d at index %d", ErrCorrupt, e.Height, i)
+		}
+		if e.Parent != prev {
+			return fmt.Errorf("%w: parent link broken at height %d", ErrCorrupt, e.Height)
+		}
+		prev = e.Hash
+	}
+	return nil
+}

@@ -1,0 +1,37 @@
+package multizone
+
+import (
+	"time"
+
+	"predis/internal/env"
+	"predis/internal/wire"
+)
+
+// Delayed wraps a handler that joins the network after a delay, modeling
+// incremental network growth (§IV-C: nodes register and join one after
+// another, and the subscription protocol of Fig. 3 assumes ordered joins).
+// Messages arriving before the inner handler started are dropped, exactly
+// as a not-yet-listening process would drop them.
+type Delayed struct {
+	Inner env.Handler
+	Delay time.Duration
+
+	started bool
+}
+
+var _ env.Handler = (*Delayed)(nil)
+
+// Start implements env.Handler.
+func (d *Delayed) Start(ctx env.Context) {
+	ctx.After(d.Delay, func() {
+		d.started = true
+		d.Inner.Start(ctx)
+	})
+}
+
+// Receive implements env.Handler.
+func (d *Delayed) Receive(from wire.NodeID, m wire.Message) {
+	if d.started {
+		d.Inner.Receive(from, m)
+	}
+}

@@ -1,0 +1,155 @@
+package multizone
+
+import (
+	"predis/internal/core"
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// Distributor is the consensus-node side of Multi-Zone (§IV-D): consensus
+// node i erasure-codes every bundle it stores (its own and its peers') and
+// sends stripe i to its subscribers — the relayers across all zones — and
+// pushes each new Predis block to the same subscribers. Consensus
+// bandwidth spent on full-node distribution is therefore one stripe per
+// bundle plus one tiny block header per block, independent of the number
+// of full nodes.
+type Distributor struct {
+	self    wire.NodeID
+	nc      int
+	striper *Striper
+	ctx     env.Context
+
+	subscribers map[wire.NodeID]bool
+	maxSubs     int
+
+	// cache avoids encoding the same bundle twice (StripeRoot hook +
+	// dissemination).
+	cacheKey crypto.Hash
+	cacheSet *StripeSet
+
+	// stats
+	stripesOut uint64
+	blocksOut  uint64
+}
+
+// NewDistributor builds a distributor for consensus node self.
+func NewDistributor(self wire.NodeID, nc int, striper *Striper, maxSubs int) *Distributor {
+	if maxSubs <= 0 {
+		maxSubs = 1 << 30 // consensus nodes accept every relayer by default
+	}
+	return &Distributor{
+		self:        self,
+		nc:          nc,
+		striper:     striper,
+		subscribers: make(map[wire.NodeID]bool),
+		maxSubs:     maxSubs,
+	}
+}
+
+// Start records the runtime context (call from the host's Start).
+func (d *Distributor) Start(ctx env.Context) { d.ctx = ctx }
+
+// Subscribers returns the current subscriber count.
+func (d *Distributor) Subscribers() int { return len(d.subscribers) }
+
+// Stats returns (stripes sent, blocks sent).
+func (d *Distributor) Stats() (stripes, blocks uint64) { return d.stripesOut, d.blocksOut }
+
+// StripeRoot implements core.Options.StripeRoot: encode the body, cache
+// the shard set, and return the stripe Merkle root for the header.
+func (d *Distributor) StripeRoot(txs []*types.Transaction) crypto.Hash {
+	set, err := d.striper.Encode(txs)
+	if err != nil {
+		return crypto.ZeroHash
+	}
+	d.cacheKey = core.TxMerkleRoot(txs)
+	d.cacheSet = set
+	return set.Root
+}
+
+// OnBundleStored implements core's bundle hook: ship our stripe of every
+// bundle that enters the mempool (own or peer-produced) to subscribers.
+func (d *Distributor) OnBundleStored(b *core.Bundle) {
+	if d.ctx == nil || len(d.subscribers) == 0 {
+		return
+	}
+	set := d.cacheSet
+	if set == nil || d.cacheKey != b.Header.TxRoot {
+		var err error
+		set, err = d.striper.Encode(b.Txs)
+		if err != nil {
+			d.ctx.Logf("multizone: encode bundle: %v", err)
+			return
+		}
+	}
+	d.cacheSet, d.cacheKey = nil, crypto.ZeroHash
+	msg, err := set.Stripe(b.Header, int(d.self))
+	if err != nil {
+		d.ctx.Logf("multizone: stripe extract: %v", err)
+		return
+	}
+	for id := range d.subscribers {
+		d.ctx.Send(id, msg)
+		d.stripesOut++
+	}
+}
+
+// OnBlockCommit pushes a committed Predis block to subscribers.
+func (d *Distributor) OnBlockCommit(blk *core.PredisBlock) {
+	if d.ctx == nil {
+		return
+	}
+	msg := &ZoneBlock{Block: blk}
+	for id := range d.subscribers {
+		d.ctx.Send(id, msg)
+		d.blocksOut++
+	}
+}
+
+// Receive handles zone-plane control messages addressed to the consensus
+// node (subscribe/unsubscribe from relayers).
+func (d *Distributor) Receive(from wire.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *Subscribe:
+		d.onSubscribe(from, msg)
+	case *Unsubscribe:
+		delete(d.subscribers, from)
+	case *Heartbeat:
+		// Liveness only.
+	default:
+		// Consensus nodes ignore other zone-plane traffic.
+	}
+}
+
+func (d *Distributor) onSubscribe(from wire.NodeID, m *Subscribe) {
+	// A consensus node serves exactly its own stripe index.
+	serves := false
+	for _, s := range m.Stripes {
+		if wire.NodeID(s) == d.self {
+			serves = true
+			break
+		}
+	}
+	if !serves {
+		d.ctx.Send(from, &RejectSubscribe{Stripes: m.Stripes})
+		return
+	}
+	if len(d.subscribers) >= d.maxSubs && !d.subscribers[from] {
+		children := make([]wire.NodeID, 0, 4)
+		for id := range d.subscribers {
+			children = append(children, id)
+			if len(children) == 4 {
+				break
+			}
+		}
+		d.ctx.Send(from, &RejectSubscribe{Stripes: m.Stripes, Children: children})
+		return
+	}
+	d.subscribers[from] = true
+	d.ctx.Send(from, &AcceptSubscribe{
+		Stripes:       []uint8{uint8(d.self)},
+		FromConsensus: true,
+	})
+}

@@ -1,0 +1,268 @@
+package multizone
+
+import (
+	"errors"
+
+	"predis/internal/core"
+	"predis/internal/ledger"
+	"predis/internal/wire"
+)
+
+// onStripe handles the stripe data plane (§IV-D): verify, store, forward
+// down the subscription tree, and reassemble the bundle once n_c−f stripes
+// arrived.
+func (f *FullNode) onStripe(from wire.NodeID, m *StripeMsg) {
+	headerHash := m.Header.Hash()
+	p := f.partials[headerHash]
+	if p != nil && (p.done || p.stripes[m.Index] != nil) {
+		return // duplicate stripe
+	}
+	// Already assembled via another path (bundle pull)?
+	if f.mp.Bundle(m.Header.Producer, m.Header.Height) != nil {
+		f.forwardStripe(from, m)
+		return
+	}
+	if err := f.cfg.Striper.VerifyStripe(m); err != nil {
+		f.ctx.Logf("multizone: bad stripe from %d: %v", from, err)
+		return
+	}
+	if p == nil {
+		// Verify the header signature once per bundle.
+		if int(m.Header.Producer) >= f.cfg.NC ||
+			!f.cfg.Signer.Verify(int(m.Header.Producer), m.Header.Hash(), m.Header.Sig) {
+			f.ctx.Logf("multizone: stripe with bad header signature from %d", from)
+			return
+		}
+		p = &partialBundle{header: m.Header, stripes: make([]*StripeMsg, f.cfg.NC)}
+		f.partials[headerHash] = p
+	}
+	p.stripes[m.Index] = m
+	p.have++
+	f.stripesIn++
+	f.forwardStripe(from, m)
+
+	if p.have >= f.cfg.Striper.MinStripes() {
+		b, err := f.cfg.Striper.Reassemble(p.header, p.stripes)
+		if err != nil {
+			// Possible with exactly n_c−f stripes if one was forged with a
+			// colliding proof; wait for more stripes.
+			if p.have >= f.cfg.NC {
+				f.ctx.Logf("multizone: bundle %s unreconstructable: %v", headerHash.Short(), err)
+				delete(f.partials, headerHash)
+			}
+			return
+		}
+		p.done = true
+		p.stripes = nil // free shard memory; header stays to dedupe
+		f.storeBundle(b, false)
+		f.tryCompleteBlocks()
+	}
+}
+
+// forwardStripe relays a stripe to this node's subscribers for its index.
+func (f *FullNode) forwardStripe(from wire.NodeID, m *StripeMsg) {
+	for id := range f.subscribers[m.Index] {
+		if id != from {
+			f.ctx.Send(id, m)
+		}
+	}
+}
+
+// storeBundle inserts an assembled or pulled bundle into the local chains.
+// Out-of-order arrivals are buffered by the mempool and linked when the
+// gap fills; verify selects full verification for pulled bundles (stripe
+// reassembly already verified body and signature).
+func (f *FullNode) storeBundle(b *core.Bundle, verify bool) {
+	res, _, miss, err := f.mp.AddBundle(b, verify)
+	switch {
+	case err != nil:
+		if !errors.Is(err, core.ErrBannedProducer) {
+			f.ctx.Logf("multizone: bundle rejected: %v", err)
+		}
+		return
+	case res == core.Buffered && miss != nil:
+		// Pull the gap over the backup path: ask a backup peer first (it
+		// is in another zone, so correlated loss is unlikely), falling
+		// back to the stripe sender for this producer's stripe.
+		target := f.pullTarget(miss.Producer)
+		f.ctx.Send(target, &core.BundleRequest{Producer: miss.Producer, From: miss.From, To: miss.To})
+	case res == core.Added:
+		f.bundles++
+		if f.cfg.OnBundle != nil {
+			f.cfg.OnBundle(b)
+		}
+	}
+}
+
+func (f *FullNode) pullTarget(producer wire.NodeID) wire.NodeID {
+	if len(f.cfg.BackupPeers) > 0 {
+		return f.cfg.BackupPeers[int(producer)%len(f.cfg.BackupPeers)]
+	}
+	if sd, ok := f.stripeSender[uint8(producer)%uint8(f.cfg.NC)]; ok {
+		return sd
+	}
+	return producer % wire.NodeID(f.cfg.NC)
+}
+
+// onBlock handles a Predis block arriving over the relayer tree: verify,
+// forward, and complete once every referenced bundle is locally held.
+func (f *FullNode) onBlock(from wire.NodeID, blk *core.PredisBlock) {
+	h := blk.Hash()
+	if _, seen := f.seenBlocks[h]; seen {
+		return
+	}
+	if int(blk.Leader) >= f.cfg.NC ||
+		!f.cfg.Signer.Verify(int(blk.Leader), h, blk.Sig) {
+		f.ctx.Logf("multizone: block with bad signature from %d", from)
+		return
+	}
+	f.seenBlocks[h] = blk.Height
+	// Forward to every subscriber (each at most once).
+	msg := &ZoneBlock{Block: blk}
+	sent := map[wire.NodeID]bool{from: true}
+	for _, subs := range f.subscribers {
+		for id := range subs {
+			if !sent[id] {
+				sent[id] = true
+				f.ctx.Send(id, msg)
+			}
+		}
+	}
+	f.pendBlocks = append(f.pendBlocks, blk)
+	f.tryCompleteBlocksFrom(from)
+}
+
+// tryCompleteBlocks retries pending blocks after new bundles arrived.
+func (f *FullNode) tryCompleteBlocks() { f.tryCompleteBlocksFrom(wire.NoNode) }
+
+// tryCompleteBlocksFrom additionally knows who sent the newest block, so
+// missing bundles can be pulled from the block sender (§IV-D).
+func (f *FullNode) tryCompleteBlocksFrom(sender wire.NodeID) {
+	progress := true
+	for progress {
+		progress = false
+		for i, blk := range f.pendBlocks {
+			if blk == nil {
+				continue
+			}
+			if blk.Parent != f.lastBlock {
+				continue // must complete the parent first
+			}
+			missing, err := f.mp.ValidatePredisBlock(blk, f.lastBlock, f.lastCuts)
+			switch {
+			case err == nil:
+				bundles := f.mp.BlockBundles(blk, f.lastCuts)
+				txs := core.BlockTxs(bundles)
+				f.mp.ApplyCommit(blk)
+				f.lastCuts = blk.CutHeights()
+				f.lastBlock = blk.Hash()
+				f.lastHeight = blk.Height
+				f.blocks++
+				f.pendBlocks[i] = nil
+				progress = true
+				if f.cfg.Ledger != nil {
+					if lerr := f.cfg.Ledger.Append(ledger.Entry{
+						Height:  blk.Height,
+						Hash:    blk.Hash(),
+						Parent:  blk.Parent,
+						TxRoot:  blk.TxRoot,
+						TxCount: uint32(len(txs)),
+					}); lerr != nil {
+						f.ctx.Logf("multizone: ledger append: %v", lerr)
+					}
+				}
+				if f.cfg.OnBlockComplete != nil {
+					f.cfg.OnBlockComplete(blk, len(txs))
+				}
+			case errors.Is(err, core.ErrBlockMissing):
+				target := sender
+				if target == wire.NoNode {
+					continue
+				}
+				for _, ms := range missing {
+					f.ctx.Send(target, &core.BundleRequest{
+						Producer: ms.Producer, From: ms.From, To: ms.To,
+					})
+				}
+			default:
+				f.ctx.Logf("multizone: block %d invalid: %v", blk.Height, err)
+				f.pendBlocks[i] = nil
+			}
+		}
+	}
+	// Compact completed slots.
+	kept := f.pendBlocks[:0]
+	for _, blk := range f.pendBlocks {
+		if blk != nil {
+			kept = append(kept, blk)
+		}
+	}
+	f.pendBlocks = kept
+}
+
+// onBundleRequest serves bundle pulls from peers (backup connections and
+// block-completion fetches).
+func (f *FullNode) onBundleRequest(from wire.NodeID, req *core.BundleRequest) {
+	if int(req.Producer) >= f.cfg.NC || req.From == 0 || req.To < req.From {
+		return
+	}
+	const maxServe = 64
+	to := req.To
+	if to-req.From+1 > maxServe {
+		to = req.From + maxServe - 1
+	}
+	bundles := f.mp.Range(req.Producer, req.From-1, to)
+	if len(bundles) > 0 {
+		f.ctx.Send(from, &core.BundleResponse{Bundles: bundles})
+	}
+}
+
+// armDigest exchanges ledger digests over backup connections (§IV-F).
+func (f *FullNode) armDigest() {
+	f.ctx.After(f.cfg.DigestInterval, func() {
+		d := &BlockDigest{Height: f.lastHeight, Tips: f.mp.Tips()}
+		for _, p := range f.cfg.BackupPeers {
+			f.ctx.Send(p, d)
+		}
+		f.armDigest()
+	})
+}
+
+// onDigest pulls bundles we miss from a digest sender.
+func (f *FullNode) onDigest(from wire.NodeID, m *BlockDigest) {
+	tips := f.mp.Tips()
+	for i, remote := range m.Tips {
+		if i >= len(tips) {
+			break
+		}
+		if remote > tips[i] {
+			f.ctx.Send(from, &core.BundleRequest{
+				Producer: wire.NodeID(i), From: tips[i] + 1, To: remote,
+			})
+		}
+	}
+}
+
+// sweepDataPlane bounds memory on long runs: finished partial-bundle
+// entries whose bundles are confirmed (or pruned) leave the dedup map, and
+// ancient block-hash entries age out once the chain moves past them.
+func (f *FullNode) sweepDataPlane() {
+	for h, p := range f.partials {
+		if !p.done {
+			continue
+		}
+		conf := f.mp.ConfirmedHeight(p.header.Producer)
+		if p.header.Height <= conf {
+			delete(f.partials, h)
+		}
+	}
+	const keepBlocks = 128
+	if f.lastHeight > keepBlocks {
+		floor := f.lastHeight - keepBlocks
+		for h, height := range f.seenBlocks {
+			if height < floor {
+				delete(f.seenBlocks, h)
+			}
+		}
+	}
+}

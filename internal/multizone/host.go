@@ -1,0 +1,93 @@
+package multizone
+
+import (
+	"time"
+
+	"predis/internal/core"
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/node"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// ConsensusHost wraps a consensus node with a Multi-Zone distributor:
+// consensus traffic routes to the node, zone-plane traffic to the
+// distributor, and the node's bundle/block hooks feed the distributor.
+type ConsensusHost struct {
+	Node *node.Node
+	Dist *Distributor
+}
+
+var _ env.Handler = (*ConsensusHost)(nil)
+
+// HostConfig assembles a Multi-Zone consensus node.
+type HostConfig struct {
+	// NC, F, Self, Signer, Engine: as in node.Config.
+	NC, F  int
+	Self   wire.NodeID
+	Signer crypto.Signer
+	Engine node.EngineKind
+	// BundleSize / BundleInterval: Predis producer parameters.
+	BundleSize     int
+	BundleInterval time.Duration
+	ViewTimeout    time.Duration
+	// Striper must match the full nodes'.
+	Striper *Striper
+	// MaxSubscribers caps relayer subscriptions at this consensus node
+	// (0 = unlimited).
+	MaxSubscribers int
+	// ReplyToClients / OnCommit: measurement hooks as in node.Config.
+	ReplyToClients bool
+	OnCommit       func(height uint64, txs int)
+}
+
+// NewConsensusHost builds the host. Multi-Zone always runs Predis (the
+// paper's deployment: Predis on BFT-SMaRt with Multi-Zone distribution).
+func NewConsensusHost(cfg HostConfig) (*ConsensusHost, error) {
+	dist := NewDistributor(cfg.Self, cfg.NC, cfg.Striper, cfg.MaxSubscribers)
+	n, err := node.New(node.Config{
+		Mode:           node.ModePredis,
+		Engine:         cfg.Engine,
+		NC:             cfg.NC,
+		F:              cfg.F,
+		Self:           cfg.Self,
+		Signer:         cfg.Signer,
+		BundleSize:     cfg.BundleSize,
+		BundleInterval: cfg.BundleInterval,
+		ViewTimeout:    cfg.ViewTimeout,
+		ReplyToClients: cfg.ReplyToClients,
+		StripeRoot:     dist.StripeRoot,
+		OnBundleStored: dist.OnBundleStored,
+		OnBlockCommit:  dist.OnBlockCommit,
+		OnCommit: func(height uint64, txs []*types.Transaction) {
+			if cfg.OnCommit != nil {
+				cfg.OnCommit(height, len(txs))
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ConsensusHost{Node: n, Dist: dist}, nil
+}
+
+// Start implements env.Handler.
+func (h *ConsensusHost) Start(ctx env.Context) {
+	h.Dist.Start(ctx)
+	h.Node.Start(ctx)
+}
+
+// Receive implements env.Handler.
+func (h *ConsensusHost) Receive(from wire.NodeID, m wire.Message) {
+	if m.Type()&0xff00 == wire.TypeRangeZone {
+		h.Dist.Receive(from, m)
+		return
+	}
+	if req, ok := m.(*core.BundleRequest); ok {
+		// Bundle pulls from full nodes are served by the Predis mempool.
+		h.Node.Predis().Receive(from, req)
+		return
+	}
+	h.Node.Receive(from, m)
+}

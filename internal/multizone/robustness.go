@@ -1,0 +1,66 @@
+package multizone
+
+import "math"
+
+// This file implements §IV-B's robustness analysis. The paper treats
+// malicious behaviour in the network layer as node failure: an honest
+// node fails with probability p_h (~3%/year per server-failure studies),
+// a malicious node "fails" with probability p_b = 1, and with at most f
+// malicious among N full nodes the blended per-node failure probability
+// is Eq. 3:
+//
+//	p_c = (f/N)·p_b + (1 − f/N)·p_h ≈ f/N.
+//
+// A zone with n_zr relayers loses a stripe only if every relayer carrying
+// it fails, so the stripe-loss probability is p_c^n_zr, and Eq. 4 picks
+// n_zr such that p_c^n_zr ≤ p_r. With the paper's choice n_zr = n_c and
+// n_c ≥ 4, delivery probability exceeds 99.98%.
+
+// FailureProbability is Eq. 3: the blended per-node failure probability
+// given f malicious nodes among N total and honest failure rate ph.
+func FailureProbability(f, n int, ph float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	frac := float64(f) / float64(n)
+	if frac > 1 {
+		frac = 1
+	}
+	return frac*1.0 + (1-frac)*ph
+}
+
+// DeliveryProbability returns the probability that a node can obtain a
+// stripe from at least one of nzr relayers when each fails independently
+// with probability pc (the complement of Eq. 4's left side).
+func DeliveryProbability(pc float64, nzr int) float64 {
+	if nzr <= 0 {
+		return 0
+	}
+	if pc < 0 {
+		pc = 0
+	}
+	if pc > 1 {
+		pc = 1
+	}
+	return 1 - math.Pow(pc, float64(nzr))
+}
+
+// RelayersForTarget is Eq. 4 solved for n_zr: the minimum number of
+// relayers per zone so that the stripe-loss probability pc^n_zr stays at
+// or below the robustness threshold pr.
+func RelayersForTarget(pc, pr float64) int {
+	if pr <= 0 || pc <= 0 {
+		return 1
+	}
+	if pc >= 1 {
+		return math.MaxInt32 // unsatisfiable: every relayer always fails
+	}
+	if pr >= 1 {
+		return 1
+	}
+	n := int(math.Ceil(math.Log(pr) / math.Log(pc)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package multizone
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEq3FailureProbability checks the paper's approximation p_c ≈ f/N.
+func TestEq3FailureProbability(t *testing.T) {
+	// 3% annual server failure rate, as the paper cites.
+	const ph = 0.03
+	cases := []struct{ f, n int }{{1, 4}, {2, 8}, {5, 16}, {33, 100}}
+	for _, c := range cases {
+		pc := FailureProbability(c.f, c.n, ph)
+		approx := float64(c.f) / float64(c.n)
+		if pc < approx || pc > approx+ph {
+			t.Fatalf("f=%d n=%d: pc=%v not within [f/N, f/N+ph]", c.f, c.n, pc)
+		}
+	}
+	if FailureProbability(1, 0, ph) != 1 {
+		t.Fatal("degenerate N must fail closed")
+	}
+}
+
+// TestEq4RelayerCount checks the paper's claim: with n_zr = n_c and
+// n_c ≥ 4, a node receives data from relayers with probability > 99.98%.
+func TestEq4RelayerCount(t *testing.T) {
+	const ph = 0.03
+	for _, nc := range []int{4, 8, 16} {
+		f := (nc - 1) / 3
+		// The paper's deployments (Figs. 7–8) have many more full nodes
+		// than consensus nodes, so p_c ≈ f/N is small; we use N = 10·n_c.
+		// (At the degenerate N = n_c, p_c ≈ 1/4 and Eq. 4's bound needs
+		// more relayers than n_c — the 99.98% figure presumes N ≫ f.)
+		pc := FailureProbability(f, 10*nc, ph)
+		p := DeliveryProbability(pc, nc)
+		if p <= 0.9998 {
+			t.Fatalf("nc=%d: delivery probability %.6f ≤ 99.98%%", nc, p)
+		}
+	}
+	// Eq. 4 solved for n_zr must satisfy its own bound.
+	for _, pc := range []float64{0.1, 0.25, 0.33} {
+		for _, pr := range []float64{1e-3, 2e-4} {
+			const tol = 1 + 1e-9 // pc^nzr can exceed pr by float error alone
+			nzr := RelayersForTarget(pc, pr)
+			if loss := 1 - DeliveryProbability(pc, nzr); loss > pr*tol {
+				t.Fatalf("pc=%v pr=%v: nzr=%d gives loss %v > pr", pc, pr, nzr, loss)
+			}
+			if nzr > 1 {
+				if loss := 1 - DeliveryProbability(pc, nzr-1); loss <= pr/tol {
+					t.Fatalf("pc=%v pr=%v: nzr=%d not minimal", pc, pr, nzr)
+				}
+			}
+		}
+	}
+	if RelayersForTarget(1.0, 1e-3) < 1<<30 {
+		t.Fatal("pc=1 must be unsatisfiable")
+	}
+	if RelayersForTarget(0.5, 1) != 1 {
+		t.Fatal("pr=1 needs one relayer")
+	}
+}
+
+// TestDeliveryProbabilityBounds sanity-checks the complement of Eq. 4.
+func TestDeliveryProbabilityBounds(t *testing.T) {
+	if DeliveryProbability(0.5, 0) != 0 {
+		t.Fatal("zero relayers deliver nothing")
+	}
+	if DeliveryProbability(0, 3) != 1 {
+		t.Fatal("pc=0 must always deliver")
+	}
+	if DeliveryProbability(1, 3) != 0 {
+		t.Fatal("pc=1 must never deliver")
+	}
+	if got := DeliveryProbability(0.25, 4); got <= 0.99 || got >= 1 {
+		t.Fatalf("DeliveryProbability(0.25, 4) = %v", got)
+	}
+}
+
+// TestStripesSurviveMessageLoss runs the full Multi-Zone stack with 2%
+// random message loss applied to every message: erasure parity (any
+// n_c−f of n_c stripes), digest pulls, and consensus retransmission via
+// heartbeat traffic must still complete blocks everywhere.
+func TestStripesSurviveMessageLoss(t *testing.T) {
+	cfg := zoneConfig{
+		nc: 4, f: 1, zones: 2, perZone: 5,
+		rate: 300, duration: 10 * time.Second,
+		loss: 0.02,
+	}
+	zc := buildZoneCluster(t, cfg)
+	zc.net.Start()
+	zc.net.Run(cfg.duration)
+	if zc.net.Lost() == 0 {
+		t.Fatal("loss model dropped nothing; test misconfigured")
+	}
+	for _, fn := range zc.fulls {
+		if _, _, blocks := fn.Stats(); blocks == 0 {
+			t.Fatalf("node %d completed no blocks under 2%% loss", fn.cfg.Self)
+		}
+	}
+	t.Logf("lost %d messages; all %d full nodes still completed blocks",
+		zc.net.Lost(), len(zc.fulls))
+}

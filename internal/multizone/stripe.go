@@ -1,0 +1,173 @@
+// Package multizone implements the paper's data distribution layer (§IV):
+// the network is divided into zones, each zone keeps n_c relayers alive,
+// consensus nodes erasure-code every bundle into n_c stripes and send only
+// their own stripe to subscribers, relayers exchange stripes so each one
+// receives the full set while consensus bandwidth stays constant, and
+// ordinary nodes subscribe to relayers. Predis blocks (tiny) follow the
+// same subscription tree, so a full node can rebuild every block from its
+// local bundle store the moment the block header arrives.
+package multizone
+
+import (
+	"errors"
+	"fmt"
+
+	"predis/internal/core"
+	"predis/internal/crypto"
+	"predis/internal/erasure"
+	"predis/internal/merkle"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// Striper turns bundles into verifiable stripes and back. A bundle body is
+// erasure-coded into data = n_c−f and parity = f shards (any n_c−f of the
+// n_c reconstruct), and the bundle header's StripeRoot commits to all
+// shards so each stripe is independently verifiable with a Merkle proof
+// (§IV-D). A Striper is immutable and safe for concurrent use.
+type Striper struct {
+	coder *erasure.Coder
+	nc, f int
+}
+
+// NewStriper builds a striper for n_c consensus nodes tolerating f faults.
+func NewStriper(nc, f int) (*Striper, error) {
+	if nc <= 0 || f < 0 || nc-f <= 0 {
+		return nil, fmt.Errorf("multizone: bad striper params nc=%d f=%d", nc, f)
+	}
+	coder, err := erasure.New(nc-f, f)
+	if err != nil {
+		return nil, err
+	}
+	return &Striper{coder: coder, nc: nc, f: f}, nil
+}
+
+// NC returns the stripe count (one per consensus node).
+func (s *Striper) NC() int { return s.nc }
+
+// MinStripes returns how many stripes reconstruct a bundle (n_c − f).
+func (s *Striper) MinStripes() int { return s.nc - s.f }
+
+// encodeBody serializes a bundle body exactly as the wire codec does, so
+// reassembled bundles decode with the standard path.
+func encodeBody(txs []*types.Transaction) []byte {
+	e := wire.NewEncoder(types.SizeTxs(txs))
+	types.EncodeTxs(e, txs)
+	return e.Bytes()
+}
+
+// StripeSet is the encoded form of one bundle: the shards plus the Merkle
+// tree over them.
+type StripeSet struct {
+	Shards     [][]byte
+	PayloadLen int
+	Root       crypto.Hash
+	tree       *merkle.Tree
+}
+
+// Encode erasure-codes a bundle body into n_c shards and builds the stripe
+// Merkle tree. Call it before signing the header so StripeRoot can be
+// embedded (core.Options.StripeRoot does this).
+func (s *Striper) Encode(txs []*types.Transaction) (*StripeSet, error) {
+	body := encodeBody(txs)
+	shards := s.coder.Split(body)
+	if err := s.coder.Encode(shards); err != nil {
+		return nil, err
+	}
+	tree := merkle.NewTree(shards)
+	return &StripeSet{
+		Shards:     shards,
+		PayloadLen: len(body),
+		Root:       tree.Root(),
+		tree:       tree,
+	}, nil
+}
+
+// Stripe extracts stripe i as a wire message for the given bundle header.
+func (set *StripeSet) Stripe(header core.BundleHeader, i int) (*StripeMsg, error) {
+	if i < 0 || i >= len(set.Shards) {
+		return nil, fmt.Errorf("multizone: stripe index %d out of range", i)
+	}
+	proof, err := set.tree.Proof(i)
+	if err != nil {
+		return nil, err
+	}
+	return &StripeMsg{
+		Header:     header,
+		Index:      uint8(i),
+		PayloadLen: uint32(set.PayloadLen),
+		Shard:      set.Shards[i],
+		Proof:      proof,
+	}, nil
+}
+
+// Errors from stripe verification and reassembly.
+var (
+	ErrStripeProof  = errors.New("multizone: stripe Merkle proof invalid")
+	ErrStripeCount  = errors.New("multizone: not enough stripes to reassemble")
+	ErrStripeBundle = errors.New("multizone: reassembled bundle does not match header")
+)
+
+// VerifyStripe checks a stripe against its header's StripeRoot.
+func (s *Striper) VerifyStripe(m *StripeMsg) error {
+	if int(m.Index) >= s.nc {
+		return fmt.Errorf("%w: index %d of %d", ErrStripeProof, m.Index, s.nc)
+	}
+	if !merkle.Verify(m.Header.StripeRoot, m.Shard, int(m.Index), s.nc, m.Proof) {
+		return ErrStripeProof
+	}
+	return nil
+}
+
+// Reassemble reconstructs a bundle from any n_c−f verified stripes of the
+// same header. stripes is indexed by stripe index; nil entries are
+// missing.
+func (s *Striper) Reassemble(header core.BundleHeader, stripes []*StripeMsg) (*core.Bundle, error) {
+	shards := make([][]byte, s.nc)
+	have := 0
+	payloadLen := -1
+	for i, st := range stripes {
+		if st == nil {
+			continue
+		}
+		shards[i] = st.Shard
+		have++
+		if payloadLen < 0 {
+			payloadLen = int(st.PayloadLen)
+		}
+	}
+	if have < s.MinStripes() || payloadLen < 0 {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrStripeCount, have, s.MinStripes())
+	}
+	if err := s.coder.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	body, err := s.coder.Join(shards, payloadLen)
+	if err != nil {
+		return nil, err
+	}
+	txs, err := types.DecodeTxs(wire.NewDecoder(body))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStripeBundle, err)
+	}
+	b := &core.Bundle{Header: header, Txs: txs}
+	if err := b.VerifyBody(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrStripeBundle, err)
+	}
+	return b, nil
+}
+
+// StripeRootHook returns a function suitable for core.Options.StripeRoot:
+// it encodes the body and returns the stripe Merkle root so the producer
+// can commit to it before signing. The encoding is recomputed by the
+// distributor at dissemination time; for the bundle sizes in the paper
+// (25 KB) this costs microseconds (§V-B).
+func (s *Striper) StripeRootHook() func(txs []*types.Transaction) crypto.Hash {
+	return func(txs []*types.Transaction) crypto.Hash {
+		set, err := s.Encode(txs)
+		if err != nil {
+			return crypto.ZeroHash
+		}
+		return set.Root
+	}
+}

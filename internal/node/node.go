@@ -1,0 +1,309 @@
+// Package node assembles consensus nodes: a BFT engine (PBFT or HotStuff),
+// a data production application (the baseline transaction pool or Predis),
+// and the message routing between them, behind a single env.Handler so the
+// same node runs on the simulator or the TCP runtime.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"predis/internal/consensus"
+	"predis/internal/core"
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/hotstuff"
+	"predis/internal/microblock"
+	"predis/internal/pbft"
+	"predis/internal/txpool"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// Mode selects the data production strategy.
+type Mode int
+
+// Modes.
+const (
+	// ModeBaseline batches full transactions into proposals (vanilla
+	// PBFT / HotStuff).
+	ModeBaseline Mode = iota + 1
+	// ModePredis pre-distributes bundles and proposes Predis blocks
+	// (P-PBFT / P-HS).
+	ModePredis
+	// ModeNarwhal uses the Narwhal-style RBC shared mempool (Fig. 5
+	// baseline).
+	ModeNarwhal
+	// ModeStratus uses the Stratus-style PAB shared mempool (Fig. 5
+	// baseline).
+	ModeStratus
+)
+
+// EngineKind selects the consensus protocol.
+type EngineKind int
+
+// Engine kinds.
+const (
+	EnginePBFT EngineKind = iota + 1
+	EngineHotStuff
+)
+
+// String returns the protocol name including the Predis prefix convention
+// used in the paper (P-PBFT, P-HS).
+func (k EngineKind) String() string {
+	switch k {
+	case EnginePBFT:
+		return "PBFT"
+	case EngineHotStuff:
+		return "HotStuff"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Config assembles one consensus node.
+type Config struct {
+	Mode   Mode
+	Engine EngineKind
+	// NC is the number of consensus nodes (IDs 0..NC-1); F the fault
+	// bound.
+	NC, F int
+	// Self is this node's ID.
+	Self wire.NodeID
+	// Signer signs bundles, blocks, and votes.
+	Signer crypto.Signer
+	// BatchSize bounds baseline proposals (txs per block).
+	BatchSize int
+	// BundleSize bounds Predis bundles (txs per bundle).
+	BundleSize int
+	// BundleInterval is the Predis producer tick.
+	BundleInterval time.Duration
+	// ViewTimeout / ReproposeInterval tune the engine.
+	ViewTimeout       time.Duration
+	ReproposeInterval time.Duration
+	// Fault selects Byzantine behaviour (Predis mode; Fig. 6).
+	Fault core.FaultMode
+	// ReplyToClients controls whether commits generate BlockReply
+	// messages to transaction submitters (they consume bandwidth, as the
+	// paper notes in §III-F).
+	ReplyToClients bool
+	// OnCommit observes every committed block's transactions (harness
+	// measurement hook), with the commit time implied by ctx.Now.
+	OnCommit func(height uint64, txs []*types.Transaction)
+	// Disseminate overrides Predis bundle dissemination (Multi-Zone).
+	Disseminate func(ctx env.Context, b *core.Bundle)
+	// StripeRoot commits a stripe Merkle root into bundle headers before
+	// signing (Multi-Zone; see core.Options.StripeRoot).
+	StripeRoot func(txs []*types.Transaction) crypto.Hash
+	// OnBundleStored observes every bundle entering the Predis mempool
+	// (Multi-Zone ships stripes from here).
+	OnBundleStored func(b *core.Bundle)
+	// OnBlockCommit observes committed Predis blocks (Multi-Zone pushes
+	// them to relayers from here). Predis mode only.
+	OnBlockCommit func(blk *core.PredisBlock)
+	// KeepConfirmed bounds retained confirmed bundles per chain.
+	KeepConfirmed int
+}
+
+// Node is a consensus node handler.
+type Node struct {
+	cfg    Config
+	ctx    env.Context
+	engine consensus.Engine
+	predis *core.Predis
+	pool   *txpool.App
+	mb     *microblock.App
+}
+
+var _ env.Handler = (*Node)(nil)
+
+// RegisterAllMessages registers every message type a node can handle;
+// idempotent, call before building networks.
+func RegisterAllMessages() {
+	types.RegisterMessages()
+	core.RegisterMessages()
+	pbft.RegisterMessages()
+	hotstuff.RegisterMessages()
+	txpool.RegisterMessages()
+	microblock.RegisterMessages()
+}
+
+// New assembles a node.
+func New(cfg Config) (*Node, error) {
+	n := &Node{cfg: cfg}
+	var app consensus.Application
+	switch cfg.Mode {
+	case ModeBaseline:
+		pool, err := txpool.New(txpool.Options{
+			BatchSize: cfg.BatchSize,
+			OnCommit:  n.handleCommit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.pool = pool
+		app = pool
+	case ModePredis:
+		peers := make([]wire.NodeID, cfg.NC)
+		for i := range peers {
+			peers[i] = wire.NodeID(i)
+		}
+		p, err := core.NewPredis(core.Options{
+			Params: core.Params{
+				NC: cfg.NC, F: cfg.F,
+				BundleSize:     cfg.BundleSize,
+				BundleInterval: cfg.BundleInterval,
+				KeepConfirmed:  cfg.KeepConfirmed,
+				Signer:         cfg.Signer,
+			},
+			Self:           cfg.Self,
+			Peers:          peers,
+			Fault:          cfg.Fault,
+			Disseminate:    cfg.Disseminate,
+			StripeRoot:     cfg.StripeRoot,
+			OnBundleStored: cfg.OnBundleStored,
+			OnCommit: func(ci core.CommitInfo) {
+				if cfg.OnBlockCommit != nil {
+					cfg.OnBlockCommit(ci.Block)
+				}
+				n.handleCommit(ci.Height, ci.Txs)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.predis = p
+		app = p
+	case ModeNarwhal, ModeStratus:
+		scheme := microblock.SchemeNarwhal
+		if cfg.Mode == ModeStratus {
+			scheme = microblock.SchemeStratus
+		}
+		mb, err := microblock.New(microblock.Options{
+			Scheme:     scheme,
+			NC:         cfg.NC,
+			F:          cfg.F,
+			Self:       cfg.Self,
+			Signer:     cfg.Signer,
+			MBSize:     cfg.BundleSize,
+			MBInterval: cfg.BundleInterval,
+			OnCommit:   n.handleCommit,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.mb = mb
+		app = mb
+	default:
+		return nil, fmt.Errorf("node: unknown mode %d", cfg.Mode)
+	}
+
+	var (
+		engine consensus.Engine
+		err    error
+	)
+	switch cfg.Engine {
+	case EnginePBFT:
+		engine, err = pbft.New(pbft.Config{
+			N: cfg.NC, Self: cfg.Self, App: app, Signer: cfg.Signer,
+			ViewTimeout: cfg.ViewTimeout, ReproposeInterval: cfg.ReproposeInterval,
+		})
+	case EngineHotStuff:
+		engine, err = hotstuff.New(hotstuff.Config{
+			N: cfg.NC, Self: cfg.Self, App: app, Signer: cfg.Signer,
+			ViewTimeout: cfg.ViewTimeout, ReproposeInterval: cfg.ReproposeInterval,
+		})
+	default:
+		err = fmt.Errorf("node: unknown engine %d", cfg.Engine)
+	}
+	if err != nil {
+		return nil, err
+	}
+	n.engine = engine
+	if n.predis != nil {
+		n.predis.SetEngine(engine)
+	}
+	if n.mb != nil {
+		n.mb.SetEngine(engine)
+	}
+	return n, nil
+}
+
+// Predis exposes the Predis component (nil in baseline mode).
+func (n *Node) Predis() *core.Predis { return n.predis }
+
+// Pool exposes the baseline pool (nil in Predis mode).
+func (n *Node) Pool() *txpool.App { return n.pool }
+
+// Engine exposes the consensus engine.
+func (n *Node) Engine() consensus.Engine { return n.engine }
+
+// Start implements env.Handler.
+func (n *Node) Start(ctx env.Context) {
+	n.ctx = ctx
+	if n.predis != nil {
+		n.predis.Start(ctx)
+	}
+	if n.mb != nil {
+		n.mb.Start(ctx)
+	}
+	n.engine.Start(ctx)
+}
+
+// Receive implements env.Handler: route by message type range.
+func (n *Node) Receive(from wire.NodeID, m wire.Message) {
+	switch m.Type() & 0xff00 {
+	case wire.TypeRangeCore:
+		if n.predis != nil {
+			n.predis.Receive(from, m)
+		}
+	case wire.TypeRangeNarwhal:
+		if n.mb != nil {
+			n.mb.Receive(from, m)
+		}
+	case wire.TypeRangePBFT, wire.TypeRangeHotStuff:
+		n.engine.Receive(from, m)
+	case wire.TypeRangeClient:
+		if sub, ok := m.(*types.SubmitTx); ok {
+			n.Submit(sub.Tx)
+		}
+	default:
+		n.ctx.Logf("node: unroutable message %s from %d", wire.TypeName(m.Type()), from)
+	}
+}
+
+// Submit injects a transaction into the node's data production path.
+func (n *Node) Submit(tx *types.Transaction) {
+	switch {
+	case n.predis != nil:
+		n.predis.SubmitTx(tx)
+	case n.mb != nil:
+		n.mb.SubmitTx(tx)
+	default:
+		n.pool.Submit(tx)
+		n.engine.Poke()
+	}
+}
+
+// handleCommit fans a committed block out to measurement hooks and client
+// replies.
+func (n *Node) handleCommit(height uint64, txs []*types.Transaction) {
+	if n.cfg.OnCommit != nil {
+		n.cfg.OnCommit(height, txs)
+	}
+	if !n.cfg.ReplyToClients || n.ctx == nil {
+		return
+	}
+	// One batched BlockReply per client (replies are real traffic; §III-F).
+	byClient := make(map[wire.NodeID][]uint64)
+	for _, tx := range txs {
+		byClient[tx.Client] = append(byClient[tx.Client], tx.Seq)
+	}
+	for client, seqs := range byClient {
+		n.ctx.Send(client, &types.BlockReply{
+			Height:  height,
+			Replica: n.cfg.Self,
+			Seqs:    seqs,
+		})
+	}
+}

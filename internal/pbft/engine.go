@@ -1,0 +1,546 @@
+package pbft
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"predis/internal/consensus"
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/wire"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// N is the number of replicas; IDs must be 0..N-1.
+	N int
+	// Self is this replica's ID.
+	Self wire.NodeID
+	// App supplies and consumes payloads.
+	App consensus.Application
+	// Signer signs and verifies protocol messages.
+	Signer crypto.Signer
+	// ViewTimeout is the base leader-suspicion timeout; it doubles on
+	// consecutive failed view changes. Default 2s.
+	ViewTimeout time.Duration
+	// ReproposeInterval is how often an idle leader re-asks the app for a
+	// proposal. Default 10ms.
+	ReproposeInterval time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.ViewTimeout <= 0 {
+		out.ViewTimeout = 2 * time.Second
+	}
+	if out.ReproposeInterval <= 0 {
+		out.ReproposeInterval = 10 * time.Millisecond
+	}
+	return out
+}
+
+// instance is one consensus slot (sequence number).
+type instance struct {
+	view    uint64
+	seq     uint64
+	digest  crypto.Hash
+	payload wire.Message
+
+	prepares map[wire.NodeID]struct{}
+	commits  map[wire.NodeID]struct{}
+
+	validated    bool // app accepted the payload
+	invalid      bool // app rejected the payload permanently
+	pendingValid bool // app returned ErrPending
+	sentPrepare  bool
+	sentCommit   bool
+	prepared     bool
+	commitQuorum bool
+}
+
+// Engine is a PBFT replica. It implements consensus.Engine and is driven
+// entirely from its env executor.
+type Engine struct {
+	cfg  Config
+	ctx  env.Context
+	f    int
+	quo  int // 2f+1
+	view uint64
+
+	lastExec    uint64
+	lastPayload wire.Message // payload executed at lastExec (parent link)
+	instances   map[uint64]*instance
+
+	// view change state
+	inViewChange bool
+	proposedView uint64
+	viewChanges  map[uint64]map[wire.NodeID]*ViewChange
+	vcBackoff    int
+
+	suspicion env.Timer
+	repropose env.Timer
+
+	peers []wire.NodeID
+
+	// stats
+	committed   uint64
+	viewChanged uint64
+}
+
+var _ consensus.Engine = (*Engine)(nil)
+
+// New builds a PBFT replica engine.
+func New(cfg Config) (*Engine, error) {
+	c := cfg.withDefaults()
+	if c.N < 1 || int(c.Self) >= c.N {
+		return nil, fmt.Errorf("pbft: bad N=%d Self=%d", c.N, c.Self)
+	}
+	if c.App == nil || c.Signer == nil {
+		return nil, errors.New("pbft: App and Signer are required")
+	}
+	peers := make([]wire.NodeID, c.N)
+	for i := range peers {
+		peers[i] = wire.NodeID(i)
+	}
+	return &Engine{
+		cfg:         c,
+		f:           consensus.FaultBound(c.N),
+		quo:         consensus.Quorum(c.N),
+		instances:   make(map[uint64]*instance),
+		viewChanges: make(map[uint64]map[wire.NodeID]*ViewChange),
+		peers:       peers,
+	}, nil
+}
+
+// View returns the current view number.
+func (e *Engine) View() uint64 { return e.view }
+
+// LastExecuted returns the highest executed sequence number.
+func (e *Engine) LastExecuted() uint64 { return e.lastExec }
+
+// Stats returns (blocks committed, view changes completed).
+func (e *Engine) Stats() (committed, viewChanges uint64) {
+	return e.committed, e.viewChanged
+}
+
+// Leader returns the current view's leader.
+func (e *Engine) Leader() wire.NodeID { return consensus.LeaderOf(e.view, e.cfg.N) }
+
+func (e *Engine) isLeader() bool { return e.Leader() == e.cfg.Self }
+
+// Start implements env.Handler.
+func (e *Engine) Start(ctx env.Context) {
+	e.ctx = ctx
+	e.armRepropose()
+	e.tryPropose()
+}
+
+// Poke implements consensus.Engine: application state changed, so retry
+// pending validations, executions, and proposals; arm leader suspicion if
+// we now have work but see no progress.
+func (e *Engine) Poke() {
+	if e.ctx == nil {
+		return
+	}
+	for _, inst := range e.instances {
+		if inst.pendingValid {
+			e.validateInstance(inst)
+		}
+	}
+	e.tryExecute() // a freshly validated instance may now be executable
+	e.tryPropose()
+	if !e.isLeader() && !e.inViewChange && e.suspicion == nil && e.hasPendingWork() {
+		e.armSuspicion()
+	}
+}
+
+// hasPendingWork consults the app when it reports work; engines never
+// suspect a leader that has nothing to order.
+func (e *Engine) hasPendingWork() bool {
+	if wr, ok := e.cfg.App.(consensus.WorkReporter); ok {
+		return wr.HasPendingWork()
+	}
+	return false
+}
+
+func (e *Engine) armRepropose() {
+	e.repropose = e.ctx.After(e.cfg.ReproposeInterval, func() {
+		e.tryPropose()
+		e.armRepropose()
+	})
+}
+
+func (e *Engine) armSuspicion() {
+	timeout := e.cfg.ViewTimeout << uint(e.vcBackoff)
+	e.suspicion = e.ctx.After(timeout, func() {
+		e.suspicion = nil
+		if e.hasPendingWork() || len(e.instances) > 0 {
+			e.startViewChange(e.view + 1)
+		}
+	})
+}
+
+func (e *Engine) resetSuspicion() {
+	if e.suspicion != nil {
+		e.suspicion.Stop()
+		e.suspicion = nil
+	}
+	e.vcBackoff = 0
+}
+
+// tryPropose issues the next pre-prepare when this replica leads, is not
+// mid view change, and has no in-flight instance.
+func (e *Engine) tryPropose() {
+	if e.ctx == nil || !e.isLeader() || e.inViewChange {
+		return
+	}
+	seq := e.lastExec + 1
+	if inst, ok := e.instances[seq]; ok && inst.view >= e.view {
+		return // already proposed / in flight
+	}
+	payload, digest, ok := e.cfg.App.BuildProposal(seq, e.lastPayload)
+	if !ok {
+		return
+	}
+	e.proposeAt(seq, digest, payload)
+}
+
+// proposeAt broadcasts a pre-prepare for (view, seq) with the payload.
+func (e *Engine) proposeAt(seq uint64, digest crypto.Hash, payload wire.Message) {
+	pp := &PrePrepare{View: e.view, Seq: seq, Digest: digest, Payload: payload, Leader: e.cfg.Self}
+	pp.Sig = e.cfg.Signer.Sign(pp.signDigest())
+	inst := e.getInstance(seq, e.view, digest)
+	inst.payload = payload
+	inst.validated = true // leader trusts its own proposal
+	env.Multicast(e.ctx, e.peers, pp)
+	// The leader's pre-prepare doubles as its prepare.
+	e.recordPrepare(inst, e.cfg.Self)
+}
+
+func (e *Engine) getInstance(seq, view uint64, digest crypto.Hash) *instance {
+	inst, ok := e.instances[seq]
+	if ok && inst.view == view && inst.digest == digest {
+		return inst
+	}
+	if ok && (inst.view >= view || inst.commitQuorum) {
+		return inst // caller must check digest; committed slots never reset
+	}
+	// New instance, or a re-proposal in a higher view supersedes the old.
+	inst = &instance{
+		view:     view,
+		seq:      seq,
+		digest:   digest,
+		prepares: make(map[wire.NodeID]struct{}),
+		commits:  make(map[wire.NodeID]struct{}),
+	}
+	e.instances[seq] = inst
+	return inst
+}
+
+// Receive implements env.Handler.
+func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case *PrePrepare:
+		e.onPrePrepare(from, msg)
+	case *Prepare:
+		e.onPrepare(from, msg)
+	case *Commit:
+		e.onCommit(from, msg)
+	case *ViewChange:
+		e.onViewChange(from, msg)
+	case *NewView:
+		e.onNewView(from, msg)
+	default:
+		e.ctx.Logf("pbft: unexpected message %s from %d", wire.TypeName(m.Type()), from)
+	}
+}
+
+func (e *Engine) onPrePrepare(from wire.NodeID, m *PrePrepare) {
+	if m.View != e.view || e.inViewChange {
+		return
+	}
+	if m.Leader != e.Leader() || from != m.Leader {
+		return
+	}
+	if m.Seq <= e.lastExec {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Leader), m.signDigest(), m.Sig) {
+		e.ctx.Logf("pbft: bad pre-prepare signature from %d", from)
+		return
+	}
+	inst := e.getInstance(m.Seq, m.View, m.Digest)
+	if inst.digest != m.Digest {
+		// The slot holds a different digest. If that state came only from
+		// (possibly Byzantine) votes — no payload, not prepared — the
+		// authenticated leader proposal supersedes it. Otherwise this is
+		// an equivocating leader and we ignore the second proposal.
+		if inst.payload != nil || inst.prepared || inst.commitQuorum {
+			return
+		}
+		delete(e.instances, m.Seq)
+		inst = e.getInstance(m.Seq, m.View, m.Digest)
+	}
+	if inst.payload == nil {
+		inst.payload = m.Payload
+	}
+	// The leader's pre-prepare counts as its prepare vote.
+	e.recordPrepare(inst, m.Leader)
+	e.validateInstance(inst)
+}
+
+// validateInstance asks the app to validate and, on success, emits this
+// replica's prepare vote.
+func (e *Engine) validateInstance(inst *instance) {
+	if inst.validated || inst.invalid || inst.payload == nil {
+		e.maybeVote(inst)
+		return
+	}
+	if inst.seq != e.lastExec+1 {
+		// PBFT is sequential: validate against the parent payload only
+		// once the parent has executed. Poke/tryExecute retries.
+		inst.pendingValid = true
+		return
+	}
+	digest, err := e.cfg.App.ValidateProposal(inst.seq, inst.payload, e.lastPayload)
+	switch {
+	case err == nil:
+		if digest != inst.digest {
+			e.ctx.Logf("pbft: app digest mismatch at seq %d", inst.seq)
+			inst.invalid = true
+			return
+		}
+		inst.validated = true
+		inst.pendingValid = false
+		e.maybeVote(inst)
+	case errors.Is(err, consensus.ErrPending):
+		inst.pendingValid = true
+	default:
+		inst.invalid = true
+		inst.pendingValid = false
+	}
+}
+
+func (e *Engine) maybeVote(inst *instance) {
+	if !inst.validated || inst.sentPrepare || e.inViewChange || inst.view != e.view {
+		return
+	}
+	inst.sentPrepare = true
+	p := &Prepare{View: inst.view, Seq: inst.seq, Digest: inst.digest, Replica: e.cfg.Self}
+	p.Sig = e.cfg.Signer.Sign(p.signDigest())
+	env.Multicast(e.ctx, e.peers, p)
+	e.recordPrepare(inst, e.cfg.Self)
+}
+
+func (e *Engine) recordPrepare(inst *instance, replica wire.NodeID) {
+	inst.prepares[replica] = struct{}{}
+	if !inst.prepared && len(inst.prepares) >= e.quo {
+		inst.prepared = true
+		e.sendCommit(inst)
+	}
+}
+
+func (e *Engine) sendCommit(inst *instance) {
+	if inst.sentCommit {
+		return
+	}
+	inst.sentCommit = true
+	c := &Commit{View: inst.view, Seq: inst.seq, Digest: inst.digest, Replica: e.cfg.Self}
+	c.Sig = e.cfg.Signer.Sign(c.signDigest())
+	env.Multicast(e.ctx, e.peers, c)
+	e.recordCommit(inst, e.cfg.Self)
+}
+
+func (e *Engine) onPrepare(from wire.NodeID, m *Prepare) {
+	if m.Seq <= e.lastExec || m.Replica != from {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Replica), m.signDigest(), m.Sig) {
+		return
+	}
+	inst := e.getInstance(m.Seq, m.View, m.Digest)
+	if inst.view != m.View || inst.digest != m.Digest {
+		return
+	}
+	e.recordPrepare(inst, m.Replica)
+}
+
+func (e *Engine) onCommit(from wire.NodeID, m *Commit) {
+	if m.Seq <= e.lastExec || m.Replica != from {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Replica), m.signDigest(), m.Sig) {
+		return
+	}
+	inst := e.getInstance(m.Seq, m.View, m.Digest)
+	if inst.view != m.View || inst.digest != m.Digest {
+		return
+	}
+	e.recordCommit(inst, m.Replica)
+}
+
+func (e *Engine) recordCommit(inst *instance, replica wire.NodeID) {
+	inst.commits[replica] = struct{}{}
+	if !inst.commitQuorum && len(inst.commits) >= e.quo {
+		inst.commitQuorum = true
+		e.tryExecute()
+	}
+}
+
+// tryExecute delivers committed instances in sequence order. An instance
+// with a commit quorum but unvalidated payload (missing bundles) waits
+// until the app can validate it — Poke retries.
+func (e *Engine) tryExecute() {
+	for {
+		inst, ok := e.instances[e.lastExec+1]
+		if !ok || !inst.commitQuorum {
+			return
+		}
+		if !inst.validated {
+			if inst.payload == nil {
+				return
+			}
+			e.validateInstance(inst)
+			if !inst.validated {
+				return
+			}
+		}
+		delete(e.instances, inst.seq)
+		e.lastExec = inst.seq
+		e.lastPayload = inst.payload
+		e.committed++
+		e.resetSuspicion()
+		e.cfg.App.OnCommit(inst.seq, inst.payload)
+		e.tryPropose()
+	}
+}
+
+// --- view change ---
+
+func (e *Engine) startViewChange(newView uint64) {
+	if newView <= e.view || (e.inViewChange && newView <= e.proposedView) {
+		return
+	}
+	e.inViewChange = true
+	e.proposedView = newView
+	e.vcBackoff++
+	e.resetTimersForViewChange()
+
+	vc := &ViewChange{NewViewNum: newView, LastExec: e.lastExec, Replica: e.cfg.Self}
+	for _, inst := range e.instances {
+		if inst.prepared && inst.payload != nil {
+			vc.Prepared = append(vc.Prepared, &PreparedEntry{
+				Seq: inst.seq, View: inst.view, Digest: inst.digest, Payload: inst.payload,
+			})
+		}
+	}
+	vc.Sig = e.cfg.Signer.Sign(vc.signDigest())
+	env.Multicast(e.ctx, e.peers, vc)
+	e.storeViewChange(vc)
+	// If the next leader never assembles the new view, escalate.
+	timeout := e.cfg.ViewTimeout << uint(e.vcBackoff)
+	e.suspicion = e.ctx.After(timeout, func() {
+		e.suspicion = nil
+		e.startViewChange(e.proposedView + 1)
+	})
+}
+
+func (e *Engine) resetTimersForViewChange() {
+	if e.suspicion != nil {
+		e.suspicion.Stop()
+		e.suspicion = nil
+	}
+}
+
+func (e *Engine) storeViewChange(vc *ViewChange) {
+	byReplica, ok := e.viewChanges[vc.NewViewNum]
+	if !ok {
+		byReplica = make(map[wire.NodeID]*ViewChange)
+		e.viewChanges[vc.NewViewNum] = byReplica
+	}
+	byReplica[vc.Replica] = vc
+}
+
+func (e *Engine) onViewChange(from wire.NodeID, m *ViewChange) {
+	if m.Replica != from || m.NewViewNum <= e.view {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Replica), m.signDigest(), m.Sig) {
+		return
+	}
+	e.storeViewChange(m)
+	count := len(e.viewChanges[m.NewViewNum])
+	// Join a view change once f+1 replicas demand it (we cannot all be
+	// wrong), even if our own timer has not fired.
+	if count > e.f && (!e.inViewChange || e.proposedView < m.NewViewNum) {
+		e.startViewChange(m.NewViewNum)
+	}
+	if count >= e.quo && consensus.LeaderOf(m.NewViewNum, e.cfg.N) == e.cfg.Self && m.NewViewNum > e.view {
+		e.becomeLeader(m.NewViewNum)
+	}
+}
+
+// becomeLeader finalizes a view change with this replica as leader: it
+// announces NewView and re-proposes prepared instances.
+func (e *Engine) becomeLeader(newView uint64) {
+	vcs := e.viewChanges[newView]
+	e.adoptView(newView)
+	nv := &NewView{View: newView, LastExec: e.lastExec, Leader: e.cfg.Self}
+	nv.Sig = e.cfg.Signer.Sign(nv.signDigest())
+	env.Multicast(e.ctx, e.peers, nv)
+
+	// Re-propose the highest-view prepared payload per pending sequence.
+	best := make(map[uint64]*PreparedEntry)
+	for _, vc := range vcs {
+		for _, p := range vc.Prepared {
+			if cur, ok := best[p.Seq]; !ok || p.View > cur.View {
+				best[p.Seq] = p
+			}
+		}
+	}
+	for seq := e.lastExec + 1; ; seq++ {
+		p, ok := best[seq]
+		if !ok {
+			break
+		}
+		e.proposeAt(seq, p.Digest, p.Payload)
+	}
+	e.tryPropose()
+}
+
+func (e *Engine) onNewView(from wire.NodeID, m *NewView) {
+	if m.View <= e.view || m.Leader != from {
+		return
+	}
+	if consensus.LeaderOf(m.View, e.cfg.N) != m.Leader {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Leader), m.signDigest(), m.Sig) {
+		return
+	}
+	e.adoptView(m.View)
+}
+
+// adoptView moves to a new view, clearing per-view vote state on
+// non-committed instances so re-proposals start clean.
+func (e *Engine) adoptView(newView uint64) {
+	e.view = newView
+	e.inViewChange = false
+	e.proposedView = newView
+	e.viewChanged++
+	e.resetTimersForViewChange()
+	e.vcBackoff = 0
+	for seq, inst := range e.instances {
+		if inst.commitQuorum {
+			continue // committed instances survive view changes
+		}
+		// Drop stale vote state; the new leader re-proposes.
+		delete(e.instances, seq)
+	}
+	for v := range e.viewChanges {
+		if v <= newView {
+			delete(e.viewChanges, v)
+		}
+	}
+}

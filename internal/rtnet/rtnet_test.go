@@ -1,0 +1,224 @@
+package rtnet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"predis/internal/crypto"
+	"predis/internal/env"
+	"predis/internal/node"
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+// echoHandler counts receptions; used for plumbing tests.
+type echoHandler struct {
+	mu  sync.Mutex
+	ctx env.Context
+	got []wire.Message
+}
+
+func (h *echoHandler) Start(ctx env.Context) { h.ctx = ctx }
+func (h *echoHandler) Receive(from wire.NodeID, m wire.Message) {
+	h.mu.Lock()
+	h.got = append(h.got, m)
+	h.mu.Unlock()
+}
+
+func (h *echoHandler) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.got)
+}
+
+func TestRuntimeDelivery(t *testing.T) {
+	node.RegisterAllMessages()
+	ha, hb := &echoHandler{}, &echoHandler{}
+
+	ra, err := New(Config{Self: 0, Listen: "127.0.0.1:0"}, ha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ra.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+
+	rb, err := New(Config{
+		Self: 1, Listen: "127.0.0.1:0",
+		Peers: map[wire.NodeID]string{0: ra.Addr().String()},
+	}, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+
+	// b → a over real TCP.
+	tx := types.NewTransaction(1, 7, 512, 0)
+	hb.ctx.Send(0, &types.SubmitTx{Tx: tx, Target: 0})
+	deadline := time.Now().Add(3 * time.Second)
+	for ha.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if ha.count() != 1 {
+		t.Fatal("message not delivered over TCP")
+	}
+	got := ha.got[0].(*types.SubmitTx)
+	if got.Tx.Hash() != tx.Hash() {
+		t.Fatal("transaction corrupted in transit")
+	}
+}
+
+func TestRuntimeSelfSendAndTimer(t *testing.T) {
+	node.RegisterAllMessages()
+	h := &echoHandler{}
+	r, err := New(Config{Self: 3}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	fired := make(chan struct{})
+	r.Inject(9, &types.BlockReply{Height: 1, Replica: 9})
+	h.ctx.Send(3, &types.BlockReply{Height: 2, Replica: 3}) // self-send
+	tm := h.ctx.After(10*time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+	deadline := time.Now().Add(time.Second)
+	for h.count() < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if h.count() < 2 {
+		t.Fatalf("got %d messages, want 2", h.count())
+	}
+}
+
+func TestRuntimeUnknownPeerDrops(t *testing.T) {
+	h := &echoHandler{}
+	r, err := New(Config{Self: 0}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	h.ctx.Send(42, &types.BlockReply{}) // no address: silently dropped
+}
+
+// TestPBFTOverTCP runs a full 4-node P-PBFT deployment over real loopback
+// TCP: the same node assembly as the simulator tests, driven by rtnet.
+func TestPBFTOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	node.RegisterAllMessages()
+	const nc = 4
+	suite := crypto.NewSimSuite(nc, 51)
+
+	var (
+		mu      sync.Mutex
+		commits = make([]int, nc)
+	)
+	runtimes := make([]*Runtime, nc)
+	nodes := make([]*node.Node, nc)
+
+	// New binds the listener, so addresses are known before Start: create
+	// everything, exchange addresses, then start.
+	for i := 0; i < nc; i++ {
+		i := i
+		n, err := node.New(node.Config{
+			Mode: node.ModePredis, Engine: node.EnginePBFT,
+			NC: nc, F: 1, Self: wire.NodeID(i),
+			Signer:         suite.Signer(i),
+			BundleSize:     10,
+			BundleInterval: 10 * time.Millisecond,
+			ViewTimeout:    2 * time.Second,
+			OnCommit: func(height uint64, txs []*types.Transaction) {
+				mu.Lock()
+				commits[i] += len(txs)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		r, err := New(Config{Self: wire.NodeID(i), Listen: "127.0.0.1:0"}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtimes[i] = r
+	}
+	for i := 0; i < nc; i++ {
+		for j := 0; j < nc; j++ {
+			if i != j {
+				runtimes[i].AddPeer(wire.NodeID(j), runtimes[j].Addr().String())
+			}
+		}
+	}
+	for i := 0; i < nc; i++ {
+		if err := runtimes[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer runtimes[i].Close()
+	}
+
+	// Submit transactions to every node.
+	for k := 0; k < 40; k++ {
+		tx := types.NewTransaction(1000, uint64(k+1), 512, 0)
+		runtimes[k%nc].Inject(1000, &types.SubmitTx{Tx: tx})
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := commits[0] >= 40 && commits[1] >= 40 && commits[2] >= 40 && commits[3] >= 40
+		mu.Unlock()
+		if done {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("commits after deadline: %v (want ≥ 40 everywhere)", commits)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Self: 0}, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	h := &echoHandler{}
+	r, err := New(Config{Self: 0, Listen: "127.0.0.1:0"}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err == nil {
+		t.Fatal("double Start accepted")
+	}
+	r.Close()
+	r.Close() // idempotent
+}
+
+func ExampleRuntime() {
+	fmt.Println("see cmd/predis-node for a complete deployment")
+	// Output: see cmd/predis-node for a complete deployment
+}

@@ -1,0 +1,55 @@
+package simnet
+
+import (
+	"time"
+
+	"predis/internal/wire"
+)
+
+// The paper's WAN experiments place nodes in four Alibaba Cloud regions:
+// Ulanqab (CN-north), Shanghai (CN-east), Chengdu (CN-southwest), and
+// Shenzhen (CN-south). We model one-way inter-region delays with typical
+// mainland-China backbone figures (public RTT measurements halved);
+// intra-region delay is ~1 ms. The paper's LAN experiments emulate a WAN
+// with `tc` at a uniform 25 ms, which UniformLatency(25ms) reproduces.
+const (
+	RegionUlanqab = iota
+	RegionShanghai
+	RegionChengdu
+	RegionShenzhen
+	// NumRegions is the number of WAN regions in the paper's testbed.
+	NumRegions
+)
+
+// wanOneWay[i][j] is the one-way delay between regions i and j.
+var wanOneWay = [NumRegions][NumRegions]time.Duration{
+	RegionUlanqab:  {1 * time.Millisecond, 14 * time.Millisecond, 17 * time.Millisecond, 20 * time.Millisecond},
+	RegionShanghai: {14 * time.Millisecond, 1 * time.Millisecond, 15 * time.Millisecond, 13 * time.Millisecond},
+	RegionChengdu:  {17 * time.Millisecond, 15 * time.Millisecond, 1 * time.Millisecond, 12 * time.Millisecond},
+	RegionShenzhen: {20 * time.Millisecond, 13 * time.Millisecond, 12 * time.Millisecond, 1 * time.Millisecond},
+}
+
+// WANLatency returns a latency function that assigns node i to region
+// i mod 4 (round-robin across the paper's four regions) and uses the
+// backbone delay matrix.
+func WANLatency() func(from, to wire.NodeID) time.Duration {
+	return WANLatencyWithRegions(func(id wire.NodeID) int { return int(id) % NumRegions })
+}
+
+// WANLatencyWithRegions returns a latency function using a caller-supplied
+// node→region assignment.
+func WANLatencyWithRegions(region func(wire.NodeID) int) func(from, to wire.NodeID) time.Duration {
+	return func(from, to wire.NodeID) time.Duration {
+		rf, rt := region(from), region(to)
+		if rf < 0 || rf >= NumRegions || rt < 0 || rt >= NumRegions {
+			return 25 * time.Millisecond
+		}
+		return wanOneWay[rf][rt]
+	}
+}
+
+// LANLatency reproduces the paper's LAN configuration: traffic control adds
+// 25 ms to every link.
+func LANLatency() func(from, to wire.NodeID) time.Duration {
+	return UniformLatency(25 * time.Millisecond)
+}

@@ -1,0 +1,422 @@
+// Package simnet is a deterministic discrete-event network simulator.
+//
+// It substitutes for the paper's Alibaba ECS testbed (§V): every node has an
+// uplink and a downlink with finite bandwidth, every pair of nodes has a
+// propagation latency, and message transfer time is
+//
+//	queueing(uplink) + size/uplink  ∥  latency  ∥  queueing(downlink) + size/downlink
+//
+// with cut-through pipelining (bits arrive `latency` after they leave, and
+// both NICs are occupied for their serialization time). Since every figure
+// in the paper is a function of exactly bandwidth contention and propagation
+// latency, this model preserves the shapes the evaluation reports while
+// running in fast, fully deterministic virtual time.
+//
+// The simulator executes protocol handlers (env.Handler) inline on a single
+// goroutine in timestamp order, so runs are reproducible bit-for-bit given
+// the same seed.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"predis/internal/env"
+	"predis/internal/wire"
+)
+
+// Epoch is the virtual time at which every simulation starts.
+var Epoch = time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Bandwidth is a link rate in bytes per second.
+type Bandwidth float64
+
+// Common rates. The paper's testbed uses 100 Mbps instances.
+const (
+	Mbps100 Bandwidth = 100e6 / 8
+	Mbps50  Bandwidth = 50e6 / 8
+	Gbps1   Bandwidth = 1e9 / 8
+)
+
+// Config parameterizes a Network.
+type Config struct {
+	// Uplink and Downlink are the default per-node NIC rates in bytes/s.
+	// Zero means unlimited (infinite bandwidth).
+	Uplink, Downlink Bandwidth
+	// Latency returns one-way propagation delay between two distinct
+	// nodes. Nil means zero latency everywhere.
+	Latency func(from, to wire.NodeID) time.Duration
+	// Seed drives all per-node random sources.
+	Seed int64
+	// LossProbability drops each message independently with the given
+	// probability (0 disables). It models the network-layer failure
+	// probability of §IV-B; bandwidth is still charged for lost messages
+	// (the sender cannot know).
+	LossProbability float64
+	// CopyOnDeliver marshals and unmarshals every message on delivery.
+	// Slower, but catches codec bugs and accidental aliasing between
+	// sender and receiver state; tests enable it.
+	CopyOnDeliver bool
+	// LogWriter receives Logf output when non-nil.
+	LogWriter io.Writer
+}
+
+// UniformLatency returns a latency function with constant one-way delay.
+func UniformLatency(d time.Duration) func(from, to wire.NodeID) time.Duration {
+	return func(from, to wire.NodeID) time.Duration { return d }
+}
+
+// event is one scheduled callback.
+type event struct {
+	at   time.Time
+	seq  uint64 // tie-break for determinism
+	node wire.NodeID
+	fn   func()
+	// canceled supports Timer.Stop without heap surgery.
+	canceled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Network is the simulator. It is not safe for concurrent use; drive it
+// from one goroutine.
+type Network struct {
+	cfg    Config
+	now    time.Time
+	seq    uint64
+	events eventHeap
+	nodes  map[wire.NodeID]*simNode
+
+	// fault injection
+	crashed    map[wire.NodeID]bool
+	partition  func(from, to wire.NodeID) bool
+	dropFilter func(from, to wire.NodeID, m wire.Message) bool
+	lossRng    *rand.Rand
+	lost       uint64
+
+	// delivered counts messages handed to handlers; bytesSent counts
+	// wire bytes charged to uplinks.
+	delivered uint64
+	bytesSent uint64
+
+	// OnDeliver, when non-nil, observes every successful delivery just
+	// before the handler runs. The harness uses it to measure propagation.
+	OnDeliver func(from, to wire.NodeID, m wire.Message, at time.Time)
+}
+
+type simNode struct {
+	id       wire.NodeID
+	net      *Network
+	handler  env.Handler
+	rng      *rand.Rand
+	up, down Bandwidth
+	upFree   time.Time
+	downFree time.Time
+	started  bool
+}
+
+var _ env.Context = (*simNode)(nil)
+
+// New creates an empty network.
+func New(cfg Config) *Network {
+	return &Network{
+		cfg:     cfg,
+		now:     Epoch,
+		nodes:   make(map[wire.NodeID]*simNode),
+		crashed: make(map[wire.NodeID]bool),
+		lossRng: rand.New(rand.NewSource(cfg.Seed ^ 0x10551055)),
+	}
+}
+
+// Lost returns how many messages the loss model dropped.
+func (n *Network) Lost() uint64 { return n.lost }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Time { return n.now }
+
+// Elapsed returns virtual time since the epoch.
+func (n *Network) Elapsed() time.Duration { return n.now.Sub(Epoch) }
+
+// Delivered returns the number of messages delivered to handlers so far.
+func (n *Network) Delivered() uint64 { return n.delivered }
+
+// BytesSent returns total wire bytes charged to uplinks so far.
+func (n *Network) BytesSent() uint64 { return n.bytesSent }
+
+// AddNode registers a handler under the given ID with the default NIC
+// rates. It panics on duplicate IDs (a setup programming error).
+func (n *Network) AddNode(id wire.NodeID, h env.Handler) {
+	n.AddNodeRates(id, h, n.cfg.Uplink, n.cfg.Downlink)
+}
+
+// AddNodeRates registers a handler with explicit NIC rates (0 = unlimited).
+func (n *Network) AddNodeRates(id wire.NodeID, h env.Handler, up, down Bandwidth) {
+	if _, ok := n.nodes[id]; ok {
+		panic(fmt.Sprintf("simnet: duplicate node %d", id))
+	}
+	sn := &simNode{
+		id:       id,
+		net:      n,
+		handler:  h,
+		rng:      rand.New(rand.NewSource(n.cfg.Seed ^ (int64(id)+1)*0x5851f42d4c957f2d)),
+		up:       up,
+		down:     down,
+		upFree:   n.now,
+		downFree: n.now,
+	}
+	n.nodes[id] = sn
+}
+
+// Start invokes Start on every handler that has not started yet, in ID
+// order for determinism. Call it after adding nodes and before Run.
+func (n *Network) Start() {
+	ids := make([]wire.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	for _, id := range ids {
+		sn := n.nodes[id]
+		if !sn.started {
+			sn.started = true
+			sn.handler.Start(sn)
+		}
+	}
+}
+
+func sortNodeIDs(ids []wire.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// Run processes events until the virtual deadline (relative to the epoch)
+// passes or the event queue drains. It returns the number of events run.
+func (n *Network) Run(until time.Duration) int {
+	deadline := Epoch.Add(until)
+	count := 0
+	for len(n.events) > 0 {
+		ev := n.events[0]
+		if ev.at.After(deadline) {
+			n.now = deadline
+			return count
+		}
+		heap.Pop(&n.events)
+		if ev.canceled {
+			continue
+		}
+		n.now = ev.at
+		ev.fn()
+		count++
+	}
+	if n.now.Before(deadline) {
+		n.now = deadline
+	}
+	return count
+}
+
+// RunUntilIdle processes every pending event regardless of time. It is
+// useful for propagation-latency experiments that end when the network
+// quiesces. maxEvents bounds runaway protocols; 0 means no bound.
+func (n *Network) RunUntilIdle(maxEvents int) int {
+	count := 0
+	for len(n.events) > 0 {
+		ev := heap.Pop(&n.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		n.now = ev.at
+		ev.fn()
+		count++
+		if maxEvents > 0 && count >= maxEvents {
+			break
+		}
+	}
+	return count
+}
+
+// schedule enqueues an event at absolute time t.
+func (n *Network) schedule(at time.Time, node wire.NodeID, fn func()) *event {
+	if at.Before(n.now) {
+		at = n.now
+	}
+	n.seq++
+	ev := &event{at: at, seq: n.seq, node: node, fn: fn}
+	heap.Push(&n.events, ev)
+	return ev
+}
+
+// Crash fail-stops a node: nothing is delivered to or from it anymore and
+// its pending timers are suppressed.
+func (n *Network) Crash(id wire.NodeID) { n.crashed[id] = true }
+
+// Restart clears a crash flag. State inside the handler is untouched, so
+// this models a network reconnect rather than a process restart.
+func (n *Network) Restart(id wire.NodeID) { delete(n.crashed, id) }
+
+// Crashed reports whether a node is currently crashed.
+func (n *Network) Crashed(id wire.NodeID) bool { return n.crashed[id] }
+
+// SetPartition installs a reachability filter; messages where fn returns
+// true are dropped. Nil clears it.
+func (n *Network) SetPartition(fn func(from, to wire.NodeID) bool) { n.partition = fn }
+
+// SetDropFilter installs a message-level drop filter (for Byzantine
+// omission experiments). Nil clears it.
+func (n *Network) SetDropFilter(fn func(from, to wire.NodeID, m wire.Message) bool) {
+	n.dropFilter = fn
+}
+
+// latency returns one-way delay from a to b.
+func (n *Network) latency(from, to wire.NodeID) time.Duration {
+	if n.cfg.Latency == nil || from == to {
+		return 0
+	}
+	return n.cfg.Latency(from, to)
+}
+
+// --- env.Context implementation (per node) ---
+
+// ID implements env.Context.
+func (s *simNode) ID() wire.NodeID { return s.id }
+
+// Now implements env.Context.
+func (s *simNode) Now() time.Time { return s.net.now }
+
+// Rand implements env.Context.
+func (s *simNode) Rand() *rand.Rand { return s.rng }
+
+// Logf implements env.Context.
+func (s *simNode) Logf(format string, args ...any) {
+	if w := s.net.cfg.LogWriter; w != nil {
+		fmt.Fprintf(w, "%12s node=%d "+format+"\n",
+			append([]any{s.net.Elapsed(), s.id}, args...)...)
+	}
+}
+
+// Send implements env.Context. It charges the sender's uplink and the
+// receiver's downlink for the message's WireSize and schedules delivery.
+func (s *simNode) Send(to wire.NodeID, m wire.Message) {
+	net := s.net
+	if net.crashed[s.id] {
+		return
+	}
+	dst, ok := net.nodes[to]
+	if !ok {
+		return
+	}
+	size := m.WireSize()
+	net.bytesSent += uint64(size)
+
+	// Uplink serialization (charged even if the message is later dropped:
+	// a sender cannot know the packet will die).
+	sendStart := later(net.now, s.upFree)
+	sendEnd := sendStart.Add(txTime(size, s.up))
+	s.upFree = sendEnd
+
+	if net.crashed[to] {
+		return
+	}
+	if net.partition != nil && net.partition(s.id, to) {
+		return
+	}
+	if net.dropFilter != nil && net.dropFilter(s.id, to, m) {
+		return
+	}
+	if net.cfg.LossProbability > 0 && net.lossRng.Float64() < net.cfg.LossProbability {
+		net.lost++
+		return
+	}
+
+	lat := net.latency(s.id, to)
+	// Downlink serialization with cut-through: reception can begin once the
+	// first bits arrive and the NIC is free.
+	recvStart := later(sendStart.Add(lat), dst.downFree)
+	recvEnd := recvStart.Add(txTime(size, dst.down))
+	dst.downFree = recvEnd
+	deliverAt := later(recvEnd, sendEnd.Add(lat))
+
+	from := s.id
+	net.schedule(deliverAt, to, func() {
+		if net.crashed[to] || net.crashed[from] {
+			return
+		}
+		msg := m
+		if net.cfg.CopyOnDeliver {
+			cp, err := wire.Roundtrip(m)
+			if err != nil {
+				panic(fmt.Sprintf("simnet: roundtrip %s: %v", wire.TypeName(m.Type()), err))
+			}
+			msg = cp
+		}
+		net.delivered++
+		if net.OnDeliver != nil {
+			net.OnDeliver(from, to, msg, net.now)
+		}
+		dst.handler.Receive(from, msg)
+	})
+}
+
+// After implements env.Context.
+func (s *simNode) After(d time.Duration, fn func()) env.Timer {
+	if d < 0 {
+		d = 0
+	}
+	net := s.net
+	id := s.id
+	ev := net.schedule(net.now.Add(d), id, func() {
+		if net.crashed[id] {
+			return
+		}
+		fn()
+	})
+	return (*simTimer)(ev)
+}
+
+type simTimer event
+
+// Stop implements env.Timer.
+func (t *simTimer) Stop() bool {
+	if t.canceled {
+		return false
+	}
+	t.canceled = true
+	return true
+}
+
+func later(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func txTime(size int, rate Bandwidth) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / float64(rate) * float64(time.Second))
+}

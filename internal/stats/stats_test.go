@@ -1,0 +1,108 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPercentileEdges(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty sample must yield 0")
+	}
+	one := []time.Duration{7}
+	for _, p := range []float64{-5, 0, 50, 100, 120} {
+		if Percentile(one, p) != 7 {
+			t.Fatalf("p=%v of singleton = %v", p, Percentile(one, p))
+		}
+	}
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := Percentile(sorted, 50); got != 5 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(sorted, 100); got != 10 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(sorted, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Fatal("empty summary must be zero")
+	}
+	sample := []time.Duration{30, 10, 20}
+	s := Summarize(sample)
+	if s.Count != 3 || s.Min != 10 || s.Max != 30 || s.Mean != 20 {
+		t.Fatalf("summary: %+v", s)
+	}
+	// Input must not be reordered.
+	if sample[0] != 30 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeOrderInvariant(t *testing.T) {
+	f := func(raw []int16) bool {
+		a := make([]time.Duration, len(raw))
+		b := make([]time.Duration, len(raw))
+		for i, v := range raw {
+			d := time.Duration(int(v)) + 40000
+			a[i] = d
+			b[len(raw)-1-i] = d
+		}
+		return Summarize(a) == Summarize(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if Throughput(100, 0) != 0 {
+		t.Fatal("zero window must yield 0")
+	}
+	if got := Throughput(500, 2*time.Second); got != 250 {
+		t.Fatalf("Throughput = %v", got)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	a := &Series{Name: "alpha"}
+	a.Add(1, 10)
+	a.Add(2, 20.5)
+	b := &Series{Name: "beta"}
+	b.Add(2, 7)
+	b.Add(3, 9)
+	tbl := &Table{Title: "demo", XLabel: "x", Series: []*Series{a, b}}
+	out := tbl.Render()
+	for _, want := range []string{"demo", "alpha", "beta", "20.5", "x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title + header + 3 distinct X values.
+	if len(lines) != 5 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:       "1",
+		1.5:     "1.5",
+		1.25:    "1.25",
+		1.10:    "1.1",
+		0:       "0",
+		-2.50:   "-2.5",
+		1000.00: "1000",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package topology implements the two baseline network topologies the
+// paper compares Multi-Zone against (§V-B):
+//
+//   - the star topology, where every full node attaches directly to a
+//     consensus node and receives complete blocks from it — consensus
+//     bandwidth therefore grows linearly with the full-node count;
+//   - helpers shared with the random topology (package gossip), notably
+//     the opaque BlockData message that carries a complete block of a
+//     given size.
+package topology
+
+import (
+	"sync"
+	"time"
+
+	"predis/internal/env"
+	"predis/internal/wire"
+)
+
+// Message type tags (shared with package gossip).
+const (
+	TypeBlockData = wire.TypeRangeGossip + 1
+	TypeDigest    = wire.TypeRangeGossip + 2
+	TypePull      = wire.TypeRangeGossip + 3
+)
+
+// BlockData is a complete block as an opaque payload of a given size. The
+// star and random topologies ship whole blocks, so only the size matters
+// for propagation behaviour; content is synthetic padding.
+type BlockData struct {
+	Height uint64
+	Origin wire.NodeID
+	Size   uint32 // total message body size to emulate, ≥ blockDataMin
+}
+
+// blockDataMin is the encoded size of the real fields.
+const blockDataMin = 8 + 4 + 4
+
+var _ wire.Message = (*BlockData)(nil)
+
+// Type implements wire.Message.
+func (m *BlockData) Type() wire.Type { return TypeBlockData }
+
+// WireSize implements wire.Message.
+func (m *BlockData) WireSize() int {
+	size := int(m.Size)
+	if size < blockDataMin {
+		size = blockDataMin
+	}
+	return wire.FrameOverhead + size
+}
+
+// EncodeBody implements wire.Message.
+func (m *BlockData) EncodeBody(e *wire.Encoder) {
+	e.U64(m.Height)
+	e.Node(m.Origin)
+	e.U32(m.Size)
+	if pad := int(m.Size) - blockDataMin; pad > 0 {
+		e.Raw(make([]byte, pad))
+	}
+}
+
+func decodeBlockData(d *wire.Decoder) (wire.Message, error) {
+	m := &BlockData{Height: d.U64(), Origin: d.Node(), Size: d.U32()}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if pad := int(m.Size) - blockDataMin; pad > 0 {
+		d.Raw(pad)
+	}
+	return m, d.Err()
+}
+
+// Digest advertises the blocks a gossip node holds (max contiguous height;
+// heights are dense in these experiments).
+type Digest struct {
+	MaxHeight uint64
+}
+
+var _ wire.Message = (*Digest)(nil)
+
+// Type implements wire.Message.
+func (m *Digest) Type() wire.Type { return TypeDigest }
+
+// WireSize implements wire.Message.
+func (m *Digest) WireSize() int { return wire.FrameOverhead + 8 }
+
+// EncodeBody implements wire.Message.
+func (m *Digest) EncodeBody(e *wire.Encoder) { e.U64(m.MaxHeight) }
+
+func decodeDigest(d *wire.Decoder) (wire.Message, error) {
+	return &Digest{MaxHeight: d.U64()}, d.Err()
+}
+
+// Pull requests blocks by height from a digest sender.
+type Pull struct {
+	Heights []uint64
+}
+
+var _ wire.Message = (*Pull)(nil)
+
+// Type implements wire.Message.
+func (m *Pull) Type() wire.Type { return TypePull }
+
+// WireSize implements wire.Message.
+func (m *Pull) WireSize() int { return wire.FrameOverhead + wire.SizeU64Slice(m.Heights) }
+
+// EncodeBody implements wire.Message.
+func (m *Pull) EncodeBody(e *wire.Encoder) { e.U64Slice(m.Heights) }
+
+func decodePull(d *wire.Decoder) (wire.Message, error) {
+	return &Pull{Heights: d.U64Slice()}, d.Err()
+}
+
+var registerOnce sync.Once
+
+// RegisterMessages registers topology/gossip message types; idempotent.
+func RegisterMessages() {
+	registerOnce.Do(func() {
+		wire.Register(TypeBlockData, "topo.block", decodeBlockData)
+		wire.Register(TypeDigest, "topo.digest", decodeDigest)
+		wire.Register(TypePull, "topo.pull", decodePull)
+	})
+}
+
+// Sink is a full node in the star topology: it records block arrivals and
+// nothing else (star full nodes are pure consumers).
+type Sink struct {
+	ctx env.Context
+	// OnBlock fires on the first arrival of each height.
+	OnBlock func(height uint64, at time.Time)
+	seen    map[uint64]bool
+}
+
+var _ env.Handler = (*Sink)(nil)
+
+// NewSink builds a star full node.
+func NewSink(onBlock func(height uint64, at time.Time)) *Sink {
+	return &Sink{OnBlock: onBlock, seen: make(map[uint64]bool)}
+}
+
+// Start implements env.Handler.
+func (s *Sink) Start(ctx env.Context) { s.ctx = ctx }
+
+// Receive implements env.Handler.
+func (s *Sink) Receive(from wire.NodeID, m wire.Message) {
+	bd, ok := m.(*BlockData)
+	if !ok {
+		return
+	}
+	if s.seen[bd.Height] {
+		return
+	}
+	s.seen[bd.Height] = true
+	if s.OnBlock != nil {
+		s.OnBlock(bd.Height, s.ctx.Now())
+	}
+}
+
+// StarSource fans complete blocks out to attached full nodes; consensus
+// nodes in the star topology use one per node.
+type StarSource struct {
+	ctx      env.Context
+	attached []wire.NodeID
+}
+
+// NewStarSource builds a source for the given attached full nodes.
+func NewStarSource(attached []wire.NodeID) *StarSource {
+	return &StarSource{attached: append([]wire.NodeID(nil), attached...)}
+}
+
+// Start records the context (call from the host handler's Start).
+func (s *StarSource) Start(ctx env.Context) { s.ctx = ctx }
+
+// Publish sends a complete block of the given size to every attached full
+// node.
+func (s *StarSource) Publish(height uint64, origin wire.NodeID, size int) {
+	if s.ctx == nil {
+		return
+	}
+	m := &BlockData{Height: height, Origin: origin, Size: uint32(size)}
+	for _, id := range s.attached {
+		s.ctx.Send(id, m)
+	}
+}
+
+// Attached returns the number of attached full nodes.
+func (s *StarSource) Attached() int { return len(s.attached) }

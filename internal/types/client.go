@@ -1,0 +1,96 @@
+package types
+
+import (
+	"sync"
+
+	"predis/internal/wire"
+)
+
+// Message type tags for the client plane.
+const (
+	TypeSubmitTx   = wire.TypeRangeClient + 1
+	TypeBlockReply = wire.TypeRangeClient + 2
+)
+
+// SubmitTx carries one transaction from a client to a node.
+type SubmitTx struct {
+	Tx *Transaction
+	// Target optionally names the consensus node that should pack this
+	// transaction (§IV-D's second dissemination strategy); NoNode means
+	// the receiving node decides.
+	Target wire.NodeID
+}
+
+var _ wire.Message = (*SubmitTx)(nil)
+
+// Type implements wire.Message.
+func (m *SubmitTx) Type() wire.Type { return TypeSubmitTx }
+
+// WireSize implements wire.Message.
+func (m *SubmitTx) WireSize() int {
+	return wire.FrameOverhead + 4 + m.Tx.EncodedSize()
+}
+
+// EncodeBody implements wire.Message.
+func (m *SubmitTx) EncodeBody(e *wire.Encoder) {
+	e.Node(m.Target)
+	m.Tx.EncodeTo(e)
+}
+
+func decodeSubmitTx(d *wire.Decoder) (wire.Message, error) {
+	target := d.Node()
+	tx, err := DecodeTx(d)
+	if err != nil {
+		return nil, err
+	}
+	return &SubmitTx{Tx: tx, Target: target}, d.Err()
+}
+
+// BlockReply tells a client that a block containing some of its
+// transactions committed. Replies are batched per (client, block): each
+// replica sends one reply listing the client's committed sequence numbers,
+// and the client counts a transaction as done after f+1 matching replies
+// (the standard BFT reply rule). The reply consumes bandwidth like any
+// other message, reproducing the paper's note that replying to clients
+// competes with bundle production (§III-F).
+type BlockReply struct {
+	// Height is the committed block height.
+	Height uint64
+	// Replica is the responding consensus node.
+	Replica wire.NodeID
+	// Seqs lists the client's transaction sequence numbers in the block.
+	Seqs []uint64
+}
+
+var _ wire.Message = (*BlockReply)(nil)
+
+// Type implements wire.Message.
+func (m *BlockReply) Type() wire.Type { return TypeBlockReply }
+
+// WireSize implements wire.Message.
+func (m *BlockReply) WireSize() int {
+	return wire.FrameOverhead + 8 + 4 + wire.SizeU64Slice(m.Seqs)
+}
+
+// EncodeBody implements wire.Message.
+func (m *BlockReply) EncodeBody(e *wire.Encoder) {
+	e.U64(m.Height)
+	e.Node(m.Replica)
+	e.U64Slice(m.Seqs)
+}
+
+func decodeBlockReply(d *wire.Decoder) (wire.Message, error) {
+	m := &BlockReply{Height: d.U64(), Replica: d.Node(), Seqs: d.U64Slice()}
+	return m, d.Err()
+}
+
+var registerOnce sync.Once
+
+// RegisterMessages registers the client-plane message types. Safe to call
+// from multiple packages; registration happens once.
+func RegisterMessages() {
+	registerOnce.Do(func() {
+		wire.Register(TypeSubmitTx, "client.submit", decodeSubmitTx)
+		wire.Register(TypeBlockReply, "client.reply", decodeBlockReply)
+	})
+}

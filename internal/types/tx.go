@@ -1,0 +1,159 @@
+// Package types holds the data types shared by every layer of the stack:
+// transactions, transaction batches, and the client-facing submit/reply
+// messages. Protocol-specific structures (bundles, Predis blocks, consensus
+// votes) live with their protocols.
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"predis/internal/crypto"
+	"predis/internal/wire"
+)
+
+// DefaultTxSize is the paper's transaction size (§V: "every transaction has
+// 512 bytes").
+const DefaultTxSize = 512
+
+// txFixedLen is the number of bytes of real fields in an encoded
+// transaction; the remainder up to Size is deterministic padding standing in
+// for the client's payload and signature.
+const txFixedLen = 4 + 8 + 4 + 8
+
+// MinTxSize is the smallest representable transaction.
+const MinTxSize = txFixedLen
+
+// Transaction is a client request. The payload is synthetic: benchmarks
+// need transactions of a given wire size, not meaningful bodies, so the
+// encoded form carries (Client, Seq, Size, Submitted) and deterministic
+// padding. Its identity is the hash of the real fields.
+type Transaction struct {
+	// Client identifies the submitting client (a node ID in the runtime).
+	Client wire.NodeID
+	// Seq is the client-local sequence number; (Client, Seq) is unique.
+	Seq uint64
+	// Size is the full encoded size of the transaction in bytes.
+	Size uint32
+	// Submitted is the submission time as nanoseconds since the simulation
+	// epoch; carried on the wire so any replica can compute end-to-end
+	// latency for measurement.
+	Submitted int64
+
+	hash    crypto.Hash
+	hashSet bool
+}
+
+// NewTransaction builds a transaction with the given identity and size.
+// Sizes below MinTxSize are raised to it.
+func NewTransaction(client wire.NodeID, seq uint64, size uint32, submitted time.Duration) *Transaction {
+	if size < MinTxSize {
+		size = MinTxSize
+	}
+	return &Transaction{Client: client, Seq: seq, Size: size, Submitted: int64(submitted)}
+}
+
+// Hash returns the transaction identity, computed lazily and cached. It
+// covers the real fields only (padding is deterministic).
+func (t *Transaction) Hash() crypto.Hash {
+	if !t.hashSet {
+		var buf [txFixedLen]byte
+		binary.BigEndian.PutUint32(buf[0:], uint32(t.Client))
+		binary.BigEndian.PutUint64(buf[4:], t.Seq)
+		binary.BigEndian.PutUint32(buf[12:], t.Size)
+		binary.BigEndian.PutUint64(buf[16:], uint64(t.Submitted))
+		t.hash = crypto.HashBytes(buf[:])
+		t.hashSet = true
+	}
+	return t.hash
+}
+
+// EncodedSize returns the wire size of the transaction body (no frame).
+func (t *Transaction) EncodedSize() int { return int(t.Size) }
+
+// EncodeTo appends the transaction to an encoder.
+func (t *Transaction) EncodeTo(e *wire.Encoder) {
+	e.Node(t.Client)
+	e.U64(t.Seq)
+	e.U32(t.Size)
+	e.U64(uint64(t.Submitted))
+	if pad := int(t.Size) - txFixedLen; pad > 0 {
+		e.Raw(make([]byte, pad))
+	}
+}
+
+// DecodeTx reads one transaction from a decoder.
+func DecodeTx(d *wire.Decoder) (*Transaction, error) {
+	t := &Transaction{
+		Client:    d.Node(),
+		Seq:       d.U64(),
+		Size:      d.U32(),
+		Submitted: int64(d.U64()),
+	}
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if t.Size < MinTxSize {
+		return nil, fmt.Errorf("types: transaction size %d below minimum %d", t.Size, MinTxSize)
+	}
+	if pad := int(t.Size) - txFixedLen; pad > 0 {
+		d.Raw(pad)
+	}
+	return t, d.Err()
+}
+
+// EncodeTxs appends a length-prefixed transaction list.
+func EncodeTxs(e *wire.Encoder, txs []*Transaction) {
+	e.U32(uint32(len(txs)))
+	for _, t := range txs {
+		t.EncodeTo(e)
+	}
+}
+
+// DecodeTxs reads a length-prefixed transaction list.
+func DecodeTxs(d *wire.Decoder) ([]*Transaction, error) {
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > d.Remaining()/MinTxSize {
+		return nil, fmt.Errorf("types: tx count %d exceeds buffer", n)
+	}
+	out := make([]*Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		t, err := DecodeTx(d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// SizeTxs returns the encoded size of a transaction list.
+func SizeTxs(txs []*Transaction) int {
+	n := 4
+	for _, t := range txs {
+		n += t.EncodedSize()
+	}
+	return n
+}
+
+// TxHashes returns the identity hashes of a transaction list.
+func TxHashes(txs []*Transaction) []crypto.Hash {
+	out := make([]crypto.Hash, len(txs))
+	for i, t := range txs {
+		out[i] = t.Hash()
+	}
+	return out
+}
+
+// TotalBytes sums the encoded sizes of a transaction list.
+func TotalBytes(txs []*Transaction) int {
+	n := 0
+	for _, t := range txs {
+		n += t.EncodedSize()
+	}
+	return n
+}
