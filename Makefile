@@ -1,0 +1,25 @@
+# Same gates as .github/workflows/ci.yml.
+
+.PHONY: all build vet test race fmt bench ci
+
+all: ci
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+fmt:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+bench:
+	go test -bench=. -benchmem
+
+ci: fmt build vet race

@@ -1,5 +1,6 @@
 // Command predis-bench regenerates the paper's evaluation figures
-// (§V, Figs. 4–8) from the simulated testbed.
+// (§V, Figs. 4–8) from the simulated testbed, plus the crash-recovery
+// experiment (scripted relayer and leader crash/restart).
 //
 // Usage:
 //
@@ -7,7 +8,8 @@
 //	predis-bench [-quick] [-seed N] run <experiment-id>...
 //	predis-bench [-quick] [-seed N] all
 //
-// Experiment ids: fig4a fig4b fig4c fig4d fig5wan fig5lan fig6 fig7 fig8.
+// Experiment ids: fig4a fig4b fig4c fig4d fig5wan fig5lan fig6 fig7 fig8
+// recovery.
 package main
 
 import (

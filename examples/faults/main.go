@@ -1,4 +1,4 @@
-// Faults: two Byzantine scenarios from the paper, end to end.
+// Faults: three failure scenarios from the paper, end to end.
 //
 // Scenario 1 — forking attack (§III-E): a malicious producer signs two
 // conflicting bundles at the same height. The first honest node to see
@@ -9,16 +9,25 @@
 // bundles nor proposes. Followers' bundle timers expire, a view change
 // elects the next leader, and the system resumes committing.
 //
+// Scenario 3 — relayer crash (§IV-C/IV-F): a zone's relayer fail-stops
+// under a declarative fault schedule. Heartbeats expire, the consensus
+// distributors promote a replacement for the orphaned stripes, and when
+// the crashed node restarts it re-runs the subscription bootstrap and
+// catches up the blocks it missed. The example prints the timeline.
+//
 //	go run ./examples/faults
 package main
 
 import (
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"predis/internal/core"
 	"predis/internal/crypto"
+	"predis/internal/faults"
+	"predis/internal/multizone"
 	"predis/internal/node"
 	"predis/internal/simnet"
 	"predis/internal/types"
@@ -33,6 +42,11 @@ func main() {
 	}
 	fmt.Println()
 	if err := silentLeader(); err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := relayerCrash(); err != nil {
 		fmt.Fprintln(os.Stderr, "faults:", err)
 		os.Exit(1)
 	}
@@ -165,4 +179,163 @@ func silentLeader() error {
 	}
 	fmt.Println("  liveness restored under the next leader ✓")
 	return nil
+}
+
+// relayerCrash runs one Multi-Zone zone over a P-PBFT group, crashes the
+// zone's first relayer through a scripted fault window, and narrates the
+// recovery: heartbeat expiry, stripe re-election, re-subscription after
+// restart, and chain catch-up.
+func relayerCrash() error {
+	fmt.Println("scenario 3: relayer crash → re-election → catch-up")
+	const (
+		nc, f    = 4, 1
+		perZone  = 6
+		rate     = 300.0
+		duration = 12 * time.Second
+	)
+	crashAt, restartAt := 4*time.Second, 7*time.Second
+
+	node.RegisterAllMessages()
+	multizone.RegisterMessages()
+	net := simnet.New(simnet.Config{
+		Uplink: simnet.Mbps100, Downlink: simnet.Mbps100,
+		Latency: simnet.LANLatency(), Seed: 21,
+	})
+	suite := crypto.NewSimSuite(nc, 31)
+	striper, err := multizone.NewStriper(nc, f)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nc; i++ {
+		host, err := multizone.NewConsensusHost(multizone.HostConfig{
+			NC: nc, F: f, Self: wire.NodeID(i),
+			Signer:         suite.Signer(i),
+			Engine:         node.EnginePBFT,
+			BundleSize:     25,
+			BundleInterval: 20 * time.Millisecond,
+			ViewTimeout:    time.Second,
+			Striper:        striper,
+			ReplyToClients: true,
+		})
+		if err != nil {
+			return err
+		}
+		net.AddNode(wire.NodeID(i), host)
+	}
+	fullID := func(k int) wire.NodeID { return wire.NodeID(100 + k) }
+	fulls := make([]*multizone.FullNode, perZone)
+	for k := 0; k < perZone; k++ {
+		peers := make([]wire.NodeID, 0, perZone-1)
+		for p := 0; p < perZone; p++ {
+			if p != k {
+				peers = append(peers, fullID(p))
+			}
+		}
+		fn, err := multizone.NewFullNode(multizone.FullNodeConfig{
+			Self: fullID(k), Zone: 0, JoinSeq: uint64(k),
+			NC: nc, F: f,
+			Striper:        striper,
+			Signer:         suite.Signer(0),
+			ZonePeers:      peers,
+			AliveInterval:  200 * time.Millisecond,
+			DigestInterval: time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		fulls[k] = fn
+		net.AddNode(fullID(k), &multizone.Delayed{Inner: fn, Delay: time.Duration(k) * 20 * time.Millisecond})
+	}
+	victim := fullID(0) // first joiner: claims stripes, relays
+
+	inj := faults.Install(net, faults.Schedule{Seed: 21, Actions: []faults.Action{
+		faults.CrashWindow{Node: victim, From: crashAt, To: restartAt},
+	}})
+
+	targets := make([]wire.NodeID, nc)
+	for i := range targets {
+		targets[i] = wire.NodeID(i)
+	}
+	net.AddNode(400, workload.NewClient(workload.ClientConfig{
+		Self: 400, Targets: targets, Policy: workload.RoundRobin,
+		Rate: rate, TxSize: types.DefaultTxSize, F: f,
+		Epoch:    simnet.Epoch,
+		GenStart: simnet.Epoch.Add(300 * time.Millisecond),
+		GenStop:  simnet.Epoch.Add(duration),
+	}))
+
+	// Timeline probe: every second, report who relays and where the
+	// victim's chain head is relative to the zone.
+	relayers := func() []wire.NodeID {
+		var ids []wire.NodeID
+		for _, fn := range fulls {
+			if fn.IsRelayer() {
+				ids = append(ids, fn.ID())
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		return ids
+	}
+	for s := 1; s <= int(duration/time.Second); s++ {
+		at := time.Duration(s) * time.Second
+		net.At(at, func() {
+			var live uint64
+			for _, fn := range fulls {
+				if fn.ID() != victim && fn.LastHeight() > live {
+					live = fn.LastHeight()
+				}
+			}
+			v := fulls[0]
+			state := "up"
+			switch {
+			case net.Crashed(victim):
+				state = "CRASHED"
+			case v.CatchingUp():
+				state = "catching up"
+			}
+			fmt.Printf("  t=%2.0fs  relayers=%v  victim head=%3d (%s)  live head=%3d\n",
+				at.Seconds(), relayers(), v.LastHeight(), state, live)
+		})
+	}
+
+	fmt.Printf("  victim %d is the zone's first relayer; crash window [%v, %v)\n",
+		victim, crashAt, restartAt)
+	net.Start()
+	net.Run(duration)
+
+	fmt.Println("  fault schedule trace:")
+	fmt.Print(indent(inj.TraceString(), "    "))
+
+	var live uint64
+	for _, fn := range fulls {
+		if fn.ID() != victim && fn.LastHeight() > live {
+			live = fn.LastHeight()
+		}
+	}
+	v := fulls[0]
+	if v.LastHeight()+3 < live {
+		return fmt.Errorf("victim stuck at height %d, live head %d", v.LastHeight(), live)
+	}
+	if v.CatchingUp() {
+		return fmt.Errorf("catch-up still in flight at end of run")
+	}
+	fmt.Printf("  restarted relayer back at head %d (live %d), relayer=%v ✓\n",
+		v.LastHeight(), live, v.IsRelayer())
+	return nil
+}
+
+// indent prefixes every line of s.
+func indent(s, pre string) string {
+	out := ""
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out += pre + s[start:i+1]
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out += pre + s[start:] + "\n"
+	}
+	return out
 }

@@ -74,6 +74,18 @@ type Engine interface {
 	Poke()
 }
 
+// FastForwarder is an optional Engine extension for crash recovery. When
+// an application learns committed blocks out of band (the Predis catch-up
+// protocol fetches them from f+1 peers after a restart), it fast-forwards
+// the engine past those heights so the engine does not wait for commit
+// quorums that finished while the node was down. payload is the payload
+// executed at height, which becomes the parent link for height+1.
+// Implementations must ignore calls with height ≤ their last executed
+// height.
+type FastForwarder interface {
+	FastForward(height uint64, payload wire.Message)
+}
+
 // LeaderOf returns the round-robin leader index for a view among n
 // replicas. Both PBFT (view) and HotStuff (view/round) use this schedule.
 func LeaderOf(view uint64, n int) wire.NodeID {

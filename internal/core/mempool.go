@@ -334,6 +334,54 @@ func (m *Mempool) ConfirmedHeight(producer wire.NodeID) uint64 {
 	return m.chains[producer].confirmed
 }
 
+// Bases returns each chain's pruning base: heights at or below the base
+// have been discarded and can no longer be served to peers.
+func (m *Mempool) Bases() []uint64 {
+	out := make([]uint64, len(m.chains))
+	for i, c := range m.chains {
+		out[i] = c.base
+	}
+	return out
+}
+
+// FastForward advances the chains to a snapshot cut. For every producer
+// whose cut lies beyond the locally held tip, the chain resets to an
+// empty pruned state at the cut (base = confirmed = cut); chains already
+// at or past the cut are only marked confirmed. A node whose downtime
+// exceeded its peers' bundle retention uses this to resume from a recent
+// block's cut heights instead of replaying bodies the network no longer
+// holds (§III-D pruning: confirmed bundles eventually leave every hot
+// store, exactly like a pruning full node's history gap).
+func (m *Mempool) FastForward(cuts []uint64) {
+	for i, c := range m.chains {
+		if i >= len(cuts) {
+			break
+		}
+		cut := cuts[i]
+		if cut > c.tip() {
+			// Unconfirmed payload bundles being skipped leave the pending
+			// count (banned chains were already discounted by Ban).
+			if !m.banned[i] {
+				for h := c.confirmed + 1; h <= c.tip(); h++ {
+					if b := c.at(h); b != nil && b.Header.TxCount > 0 {
+						m.liveTxBundles--
+					}
+				}
+			}
+			c.bundles = nil
+			c.base = cut
+			for ph, b := range c.buffered {
+				if b.Header.Height <= cut {
+					delete(c.buffered, ph)
+				}
+			}
+		}
+		if cut > c.confirmed {
+			c.confirmed = cut
+		}
+	}
+}
+
 // Range returns the bundles (from, to] on a chain if all are present,
 // otherwise nil.
 func (m *Mempool) Range(producer wire.NodeID, from, to uint64) []*Bundle {

@@ -14,6 +14,8 @@ const (
 	TypeBundleResponse   = wire.TypeRangeCore + 3
 	TypeConflictEvidence = wire.TypeRangeCore + 4
 	TypePredisBlock      = wire.TypeRangeCore + 5
+	TypeCatchupRequest   = wire.TypeRangeCore + 6
+	TypeCatchupResponse  = wire.TypeRangeCore + 7
 )
 
 // BundleMsg carries one bundle between consensus nodes.
@@ -264,6 +266,81 @@ func (m *PredisBlock) Hash() crypto.Hash {
 	return crypto.HashBytes(e.Bytes())
 }
 
+// CatchupRequest asks a peer for committed Predis blocks above the
+// sender's ledger head (crash recovery, ISSUE 1 tentpole 2). Height is
+// the sender's last executed consensus height; the responder answers with
+// consecutive blocks Height+1, Height+2, ...
+type CatchupRequest struct {
+	Height uint64
+}
+
+var _ wire.Message = (*CatchupRequest)(nil)
+
+// Type implements wire.Message.
+func (m *CatchupRequest) Type() wire.Type { return TypeCatchupRequest }
+
+// WireSize implements wire.Message.
+func (m *CatchupRequest) WireSize() int { return wire.FrameOverhead + 8 }
+
+// EncodeBody implements wire.Message.
+func (m *CatchupRequest) EncodeBody(e *wire.Encoder) { e.U64(m.Height) }
+
+func decodeCatchupRequest(d *wire.Decoder) (wire.Message, error) {
+	m := &CatchupRequest{Height: d.U64()}
+	return m, d.Err()
+}
+
+// CatchupResponse returns the responder's head height plus consecutive
+// committed blocks starting right above the requested height (empty when
+// the responder has nothing newer, or when the requested height has
+// already left its retention window).
+type CatchupResponse struct {
+	Head   uint64
+	Blocks []*PredisBlock
+}
+
+var _ wire.Message = (*CatchupResponse)(nil)
+
+// Type implements wire.Message.
+func (m *CatchupResponse) Type() wire.Type { return TypeCatchupResponse }
+
+// WireSize implements wire.Message.
+func (m *CatchupResponse) WireSize() int {
+	n := wire.FrameOverhead + 8 + 4
+	for _, b := range m.Blocks {
+		n += b.WireSize() - wire.FrameOverhead
+	}
+	return n
+}
+
+// EncodeBody implements wire.Message.
+func (m *CatchupResponse) EncodeBody(e *wire.Encoder) {
+	e.U64(m.Head)
+	e.U32(uint32(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		b.EncodeBody(e)
+	}
+}
+
+func decodeCatchupResponse(d *wire.Decoder) (wire.Message, error) {
+	m := &CatchupResponse{Head: d.U64()}
+	n := int(d.U32())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if n > d.Remaining()/40 {
+		return nil, wire.ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		b, err := DecodePredisBlockBody(d)
+		if err != nil {
+			return nil, err
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	return m, d.Err()
+}
+
 var registerOnce sync.Once
 
 // RegisterMessages registers Predis data-plane message types; idempotent.
@@ -274,5 +351,7 @@ func RegisterMessages() {
 		wire.Register(TypeBundleResponse, "core.bundle_resp", decodeBundleResponse)
 		wire.Register(TypeConflictEvidence, "core.conflict", decodeConflictEvidence)
 		wire.Register(TypePredisBlock, "core.predis_block", decodePredisBlock)
+		wire.Register(TypeCatchupRequest, "core.catchup_req", decodeCatchupRequest)
+		wire.Register(TypeCatchupResponse, "core.catchup_resp", decodeCatchupResponse)
 	})
 }

@@ -55,6 +55,16 @@ type Options struct {
 	Fault FaultMode
 	// MaxFetchBundles bounds bundles per BundleResponse (default 64).
 	MaxFetchBundles int
+	// CatchupWindow is how many committed Predis blocks are retained to
+	// serve crash-recovery CatchupRequests (default 1024; ≤ 0 keeps the
+	// default). A restarted node that fell more than CatchupWindow blocks
+	// behind its peers cannot catch up from them.
+	CatchupWindow int
+	// MaxCatchupBlocks bounds blocks per CatchupResponse (default 256).
+	MaxCatchupBlocks int
+	// Retry is the backoff policy for missing-bundle fetches and catch-up
+	// rounds. The zero value selects env.DefaultBackoff(2×BundleInterval).
+	Retry env.Backoff
 }
 
 // CommitInfo describes one committed Predis block.
@@ -85,6 +95,13 @@ type Predis struct {
 
 	// fetches tracks one outstanding fetch per producer chain.
 	fetches map[wire.NodeID]*fetchState
+	// retry is the shared backoff policy for fetches and catch-up rounds.
+	retry env.Backoff
+
+	// catchup is the in-flight crash-recovery state (nil when live).
+	catchup *catchupState
+	// recent is the committed-block retention ring serving catch-up.
+	recent []*PredisBlock
 
 	engine consensus.Engine
 
@@ -114,6 +131,15 @@ func NewPredis(opts Options) (*Predis, error) {
 	if opts.MaxFetchBundles <= 0 {
 		opts.MaxFetchBundles = 64
 	}
+	if opts.CatchupWindow <= 0 {
+		opts.CatchupWindow = 1024
+	}
+	if opts.MaxCatchupBlocks <= 0 {
+		opts.MaxCatchupBlocks = 256
+	}
+	if opts.Retry.Base <= 0 {
+		opts.Retry = env.DefaultBackoff(2 * opts.Params.BundleInterval)
+	}
 	mp, err := NewMempool(opts.Params)
 	if err != nil {
 		return nil, err
@@ -125,6 +151,7 @@ func NewPredis(opts Options) (*Predis, error) {
 		opts:    opts,
 		mp:      mp,
 		fetches: make(map[wire.NodeID]*fetchState),
+		retry:   opts.Retry,
 	}, nil
 }
 
@@ -143,6 +170,10 @@ func (p *Predis) Stats() (produced, accepted, committed uint64) {
 
 // QueueLen returns the number of transactions awaiting bundling.
 func (p *Predis) QueueLen() int { return len(p.queue) }
+
+// LastHeight returns the last applied consensus height (via engine commit
+// or catch-up replay).
+func (p *Predis) LastHeight() uint64 { return p.lastHeight }
 
 // Start arms the bundle production timer.
 func (p *Predis) Start(ctx env.Context) {
@@ -273,6 +304,10 @@ func (p *Predis) Receive(from wire.NodeID, m wire.Message) {
 		}
 	case *ConflictEvidence:
 		p.onEvidence(from, msg)
+	case *CatchupRequest:
+		p.onCatchupRequest(from, msg)
+	case *CatchupResponse:
+		p.onCatchupResponse(from, msg)
 	default:
 		p.ctx.Logf("predis: unexpected message %s from %d", wire.TypeName(m.Type()), from)
 	}
@@ -296,6 +331,10 @@ func (p *Predis) onBundle(from wire.NodeID, b *Bundle) {
 	case res == Added:
 		p.bundlesAccepted++
 		p.clearSatisfiedFetch(b.Header.Producer)
+		if p.catchup != nil {
+			// A catch-up block may have been waiting on this body.
+			p.advanceCatchup()
+		}
 		p.poke()
 	}
 }
@@ -356,16 +395,13 @@ func (p *Predis) sendFetch(producer wire.NodeID, st *fetchState) {
 		return
 	}
 	req := &BundleRequest{Producer: producer, From: from, To: st.to}
-	// First attempt asks the producer plus one rotating peer in parallel:
+	// First attempt asks the producer plus one proven holder in parallel:
 	// the cutting rule guarantees n_c−2f honest holders (§III-D), so a
 	// second target hides a slow or uncooperative producer. Retries rotate
-	// over the remaining peers.
-	candidates := make([]wire.NodeID, 0, len(p.opts.Peers))
-	for _, peer := range p.opts.Peers {
-		if peer != p.opts.Self && peer != producer {
-			candidates = append(candidates, peer)
-		}
-	}
+	// over the holders — peers whose advertised tip lists prove they hold
+	// the gap — with capped exponential backoff, so a single unresponsive
+	// peer can never stall the fetch.
+	candidates := p.fetchHolders(producer, from)
 	if st.attempt == 0 {
 		p.ctx.Send(producer, req)
 		if len(candidates) > 0 {
@@ -377,8 +413,34 @@ func (p *Predis) sendFetch(producer wire.NodeID, st *fetchState) {
 		p.ctx.Send(producer, req)
 	}
 	st.attempt++
-	retry := p.mp.params.BundleInterval * 4
+	retry := p.retry.Delay(st.attempt-1, p.ctx.Rand())
 	st.timer = p.ctx.After(retry, func() { p.sendFetch(producer, st) })
+}
+
+// fetchHolders returns the peers whose advertised tips prove they hold
+// the producer's chain at height need (candidates for a bundle fetch),
+// falling back to every peer when the tip matrix has no proof yet —
+// tips propagate on bundles and can lag the bundles themselves.
+func (p *Predis) fetchHolders(producer wire.NodeID, need uint64) []wire.NodeID {
+	matrix := p.mp.TipMatrix(p.opts.Self)
+	holders := make([]wire.NodeID, 0, len(p.opts.Peers))
+	for _, peer := range p.opts.Peers {
+		if peer == p.opts.Self || peer == producer {
+			continue
+		}
+		if int(peer) < len(matrix) && matrix[peer][producer] >= need {
+			holders = append(holders, peer)
+		}
+	}
+	if len(holders) > 0 {
+		return holders
+	}
+	for _, peer := range p.opts.Peers {
+		if peer != p.opts.Self && peer != producer {
+			holders = append(holders, peer)
+		}
+	}
+	return holders
 }
 
 func (p *Predis) clearSatisfiedFetch(producer wire.NodeID) {
@@ -477,17 +539,29 @@ func (p *Predis) OnCommit(height uint64, payload wire.Message) {
 		p.ctx.Logf("predis: commit with payload %T", payload)
 		return
 	}
+	if height <= p.lastHeight {
+		// Already applied (catch-up can race a commit quorum that finished
+		// while we were replaying); commits are idempotent by height.
+		return
+	}
 	if height != p.lastHeight+1 {
 		p.ctx.Logf("predis: commit height %d, expected %d", height, p.lastHeight+1)
 	}
+	p.commitBlock(height, blk)
+	p.poke()
+}
+
+// commitBlock applies one committed block: the shared tail of the engine
+// commit path and the catch-up replay path.
+func (p *Predis) commitBlock(height uint64, blk *PredisBlock) {
 	bundles := p.mp.BlockBundles(blk, p.mp.Confirmed())
 	txs := BlockTxs(bundles)
 	p.mp.ApplyCommit(blk)
 	p.lastHeight = height
 	p.lastBlockHash = blk.Hash()
 	p.txsCommitted += uint64(len(txs))
+	p.pushRecent(blk)
 	if p.opts.OnCommit != nil {
 		p.opts.OnCommit(CommitInfo{Height: height, Block: blk, Bundles: bundles, Txs: txs})
 	}
-	p.poke()
 }

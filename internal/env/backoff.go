@@ -1,0 +1,79 @@
+package env
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is a capped exponential backoff policy with seeded jitter. It is
+// the repository's single retry policy (ISSUE 1 tentpole 3): the Predis
+// missing-bundle fetch, the Multi-Zone digest/stripe pulls, and the rtnet
+// redial loop all derive their retry delays from it so that every retry
+// path shares the same shape — exponential growth, a hard cap, and
+// deterministic-per-seed jitter that decorrelates peers without breaking
+// simulation reproducibility.
+//
+// The zero value is not useful; use DefaultBackoff or fill in Base.
+type Backoff struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps the grown delay before jitter. Zero means no cap.
+	Max time.Duration
+	// Factor is the per-attempt multiplier. Values < 2 are treated as 2.
+	Factor float64
+	// Jitter is the fraction of the delay randomized, in [0, 1]. The
+	// delay for attempt k is d*(1-Jitter) + U[0, 2*Jitter*d), i.e. jitter
+	// is symmetric around the nominal delay. Zero disables jitter.
+	Jitter float64
+}
+
+// DefaultBackoff is the policy adopted across the repo: 1x base delay,
+// doubling, capped at 16x, with ±25% jitter.
+func DefaultBackoff(base time.Duration) Backoff {
+	return Backoff{Base: base, Max: 16 * base, Factor: 2, Jitter: 0.25}
+}
+
+// Delay returns the wait before retry number attempt (0-based). rng
+// supplies the jitter draw; it must be the node's deterministic source
+// (Context.Rand) so simulations stay reproducible. A nil rng disables
+// jitter.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	d := b.Base
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	factor := b.Factor
+	if factor < 2 {
+		factor = 2
+	}
+	for i := 0; i < attempt; i++ {
+		d = time.Duration(float64(d) * factor)
+		if b.Max > 0 && d >= b.Max {
+			d = b.Max
+			break
+		}
+		if d <= 0 { // overflow guard
+			d = b.Max
+			if d <= 0 {
+				d = time.Hour
+			}
+			break
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	if b.Jitter > 0 && rng != nil {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		lo := float64(d) * (1 - j)
+		span := float64(d) * 2 * j
+		d = time.Duration(lo + rng.Float64()*span)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

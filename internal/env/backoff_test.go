@@ -1,0 +1,53 @@
+package env
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 800 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		800 * time.Millisecond, // capped
+		800 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i, nil); got != w {
+			t.Fatalf("attempt %d: got %v want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBoundsAndDeterminism(t *testing.T) {
+	b := DefaultBackoff(100 * time.Millisecond)
+	rng1 := rand.New(rand.NewSource(7))
+	rng2 := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		d1 := b.Delay(i, rng1)
+		d2 := b.Delay(i, rng2)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed gave %v vs %v", i, d1, d2)
+		}
+		nominal := b.Delay(i, nil)
+		lo := time.Duration(float64(nominal) * 0.75)
+		hi := time.Duration(float64(nominal) * 1.25)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d: %v outside [%v, %v]", i, d1, lo, hi)
+		}
+	}
+}
+
+func TestBackoffZeroValueSane(t *testing.T) {
+	var b Backoff
+	if d := b.Delay(0, nil); d <= 0 {
+		t.Fatalf("zero-value delay must be positive, got %v", d)
+	}
+	if d := b.Delay(50, nil); d <= 0 {
+		t.Fatalf("huge attempt must not overflow negative, got %v", d)
+	}
+}

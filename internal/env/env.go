@@ -61,6 +61,21 @@ type Handler interface {
 	Receive(from wire.NodeID, m wire.Message)
 }
 
+// Restartable is implemented by handlers that can recover from a
+// fail-stop crash. Runtimes that model process restarts (simnet's
+// Network.Restart) call OnRestart exactly once, on the node's executor,
+// when the node comes back up. Implementations should stop and re-arm
+// their periodic timers (crash suppression breaks self-re-arming timer
+// chains) and kick off whatever catch-up protocol they support.
+//
+// Handlers that do not implement Restartable resume with whatever timers
+// survived, which for most protocols in this repository means they stay
+// silent forever — the pre-crash timer events were suppressed and nothing
+// re-arms them.
+type Restartable interface {
+	OnRestart()
+}
+
 // Multicast sends m to every peer in the list, skipping self. It preserves
 // the order of peers, which matters for bandwidth-serialized runtimes: the
 // first peer listed starts receiving first.

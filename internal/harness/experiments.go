@@ -42,6 +42,7 @@ func Registry() []Experiment {
 		{"fig6", "Fig. 6: Predis under faults (nc=8)", Fig6},
 		{"fig7", "Fig. 7: Multi-Zone vs star topology throughput", Fig7},
 		{"fig8", "Fig. 8: block propagation latency (star/random/Multi-Zone)", Fig8},
+		{"recovery", "Recovery: relayer & leader crash/restart — dip depth and time-to-recover", Recovery},
 	}
 }
 

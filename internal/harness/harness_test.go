@@ -75,8 +75,8 @@ func TestLoadSweepShape(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 9 {
-		t.Fatalf("registry has %d experiments, want 9", len(reg))
+	if len(reg) != 10 {
+		t.Fatalf("registry has %d experiments, want 10", len(reg))
 	}
 	seen := make(map[string]bool)
 	for _, e := range reg {
@@ -271,5 +271,77 @@ func TestFig8QuickShape(t *testing.T) {
 	}
 	if mz5 >= star5 {
 		t.Fatalf("multizone (%v ms) not faster than star (%v ms) at 5 MB", mz5, star5)
+	}
+}
+
+// TestRecoveryQuickShape runs the crash-recovery experiment at reduced
+// scale and checks its headline properties: the leader crash produces a
+// visible throughput dip that recovers, and both victims end at the live
+// chain head (Recovery itself errors otherwise).
+func TestRecoveryQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	tables, err := Recovery(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("expected timeline + summary tables, got %d", len(tables))
+	}
+	summary := tables[1]
+	row := func(name string, x float64) float64 {
+		for _, s := range summary.Series {
+			if s.Name != name {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == x {
+					return p.Y
+				}
+			}
+		}
+		t.Fatalf("summary row %v of %q missing", x, name)
+		return 0
+	}
+	// Leader crash: consensus halts during the view change, so the dip
+	// floor is (near) zero and recovery happens after the restart.
+	if dip := row("leader-crash", 3); dip < 50 {
+		t.Fatalf("leader crash dip depth %.1f%%, want ≥ 50%%", dip)
+	}
+	if ttr := row("leader-crash", 4); ttr <= 0 {
+		t.Fatalf("leader crash never recovered (ttr=%v)", ttr)
+	}
+	// Both scenarios: victim head reached the live head (small slack).
+	for _, sc := range []string{"relayer-crash", "leader-crash"} {
+		victim, live := row(sc, 5), row(sc, 6)
+		if victim+4 < live {
+			t.Fatalf("%s: victim head %v below live head %v", sc, victim, live)
+		}
+	}
+	t.Logf("\n%s", summary.Render())
+}
+
+// TestRecoveryDeterministic renders the experiment twice with the same
+// seed and demands bit-identical tables: the fault schedule, the crash,
+// the catch-up, and every measured bucket replay exactly.
+func TestRecoveryDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulation")
+	}
+	render := func() string {
+		tables, err := Recovery(Options{Quick: true, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, tbl := range tables {
+			b.WriteString(tbl.Render())
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("nondeterministic recovery experiment:\n%s---\n%s", a, b)
 	}
 }

@@ -1,8 +1,10 @@
 package hotstuff
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"predis/internal/consensus"
@@ -349,13 +351,46 @@ func (e *Engine) tryVote(ent *blockEnt) {
 }
 
 // retryPendingVotes revisits blocks whose validation was pending (missing
-// bundles) and votes if the view is still current.
+// bundles) and votes if the view is still current. Blocks are visited in
+// (view, hash) order so map iteration never affects the wire.
 func (e *Engine) retryPendingVotes() {
+	pending := make([]*blockEnt, 0, 4)
 	for _, ent := range e.blocks {
-		if !ent.validated && !ent.invalid && !ent.committed && ent.block.View >= e.curView {
-			e.tryVote(ent)
+		if ent.block != nil && !ent.validated && !ent.invalid && !ent.committed && ent.block.View >= e.curView {
+			pending = append(pending, ent)
 		}
 	}
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].block.View != pending[j].block.View {
+			return pending[i].block.View < pending[j].block.View
+		}
+		return bytes.Compare(pending[i].hash[:], pending[j].hash[:]) < 0
+	})
+	for _, ent := range pending {
+		e.tryVote(ent)
+	}
+}
+
+// OnRestart implements env.Restartable: a crash suppressed the repropose
+// and pacemaker timer chains (they re-arm inside their own callbacks), so
+// re-arm them. The restarted replica stays consensus-passive until its
+// application fast-forwards it or the chain reaches it again; full
+// HotStuff restart recovery would additionally need block-tree sync and
+// is out of scope (see EXPERIMENTS.md).
+func (e *Engine) OnRestart() {
+	if e.ctx == nil {
+		return
+	}
+	if e.repropose != nil {
+		e.repropose.Stop()
+	}
+	e.armRepropose()
+	e.resetPacemaker()
+	e.backoff = 0
+	if e.hasPendingWork() || len(e.commitQueue) > 0 {
+		e.armPacemaker()
+	}
+	e.Poke()
 }
 
 func (e *Engine) extendsLocked(b *Block) bool {

@@ -16,17 +16,41 @@ type Delayed struct {
 	Inner env.Handler
 	Delay time.Duration
 
+	ctx     env.Context
 	started bool
 }
 
 var _ env.Handler = (*Delayed)(nil)
+var _ env.Restartable = (*Delayed)(nil)
 
 // Start implements env.Handler.
 func (d *Delayed) Start(ctx env.Context) {
+	d.ctx = ctx
 	ctx.After(d.Delay, func() {
 		d.started = true
 		d.Inner.Start(ctx)
 	})
+}
+
+// OnRestart implements env.Restartable. A node that crashed before its
+// join time lost the pending join timer; re-arm the full join delay (it
+// rejoins late, like a process rebooting mid-provisioning). A node that
+// had already joined forwards the restart to the inner handler.
+func (d *Delayed) OnRestart() {
+	if !d.started {
+		if d.ctx != nil {
+			d.ctx.After(d.Delay, func() {
+				if !d.started {
+					d.started = true
+					d.Inner.Start(d.ctx)
+				}
+			})
+		}
+		return
+	}
+	if r, ok := d.Inner.(env.Restartable); ok {
+		r.OnRestart()
+	}
 }
 
 // Receive implements env.Handler.

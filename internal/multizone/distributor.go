@@ -1,6 +1,9 @@
 package multizone
 
 import (
+	"sort"
+	"time"
+
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
@@ -22,7 +25,11 @@ type Distributor struct {
 	ctx     env.Context
 
 	subscribers map[wire.NodeID]bool
+	lastSeen    map[wire.NodeID]time.Time
 	maxSubs     int
+	// ttl expires subscribers that stopped heartbeating (0 disables); a
+	// crashed relayer would otherwise receive stripes forever.
+	ttl time.Duration
 
 	// cache avoids encoding the same bundle twice (StripeRoot hook +
 	// dissemination).
@@ -44,9 +51,15 @@ func NewDistributor(self wire.NodeID, nc int, striper *Striper, maxSubs int) *Di
 		nc:          nc,
 		striper:     striper,
 		subscribers: make(map[wire.NodeID]bool),
+		lastSeen:    make(map[wire.NodeID]time.Time),
 		maxSubs:     maxSubs,
 	}
 }
+
+// SetSubscriberTTL arms subscriber expiry: a subscriber not heard from for
+// ttl (heartbeats count) is dropped before the next stripe/block fan-out.
+// Zero disables expiry.
+func (d *Distributor) SetSubscriberTTL(ttl time.Duration) { d.ttl = ttl }
 
 // Start records the runtime context (call from the host's Start).
 func (d *Distributor) Start(ctx env.Context) { d.ctx = ctx }
@@ -90,7 +103,7 @@ func (d *Distributor) OnBundleStored(b *core.Bundle) {
 		d.ctx.Logf("multizone: stripe extract: %v", err)
 		return
 	}
-	for id := range d.subscribers {
+	for _, id := range d.liveSubscribers() {
 		d.ctx.Send(id, msg)
 		d.stripesOut++
 	}
@@ -102,15 +115,36 @@ func (d *Distributor) OnBlockCommit(blk *core.PredisBlock) {
 		return
 	}
 	msg := &ZoneBlock{Block: blk}
-	for id := range d.subscribers {
+	for _, id := range d.liveSubscribers() {
 		d.ctx.Send(id, msg)
 		d.blocksOut++
 	}
 }
 
+// liveSubscribers expires stale subscribers (when a TTL is set) and
+// returns the survivors in ascending ID order, so map iteration never
+// affects wire traffic.
+func (d *Distributor) liveSubscribers() []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(d.subscribers))
+	now := d.ctx.Now()
+	for id := range d.subscribers {
+		if d.ttl > 0 {
+			if seen, ok := d.lastSeen[id]; ok && now.Sub(seen) > d.ttl {
+				delete(d.subscribers, id)
+				delete(d.lastSeen, id)
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // Receive handles zone-plane control messages addressed to the consensus
 // node (subscribe/unsubscribe from relayers).
 func (d *Distributor) Receive(from wire.NodeID, m wire.Message) {
+	d.lastSeen[from] = d.ctx.Now()
 	switch msg := m.(type) {
 	case *Subscribe:
 		d.onSubscribe(from, msg)
@@ -137,12 +171,9 @@ func (d *Distributor) onSubscribe(from wire.NodeID, m *Subscribe) {
 		return
 	}
 	if len(d.subscribers) >= d.maxSubs && !d.subscribers[from] {
-		children := make([]wire.NodeID, 0, 4)
-		for id := range d.subscribers {
-			children = append(children, id)
-			if len(children) == 4 {
-				break
-			}
+		children := d.liveSubscribers()
+		if len(children) > 4 {
+			children = children[:4]
 		}
 		d.ctx.Send(from, &RejectSubscribe{Stripes: m.Stripes, Children: children})
 		return

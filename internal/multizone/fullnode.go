@@ -56,6 +56,12 @@ type FullNodeConfig struct {
 	Ledger *ledger.Ledger
 	// KeepConfirmed bounds retained bundles per chain.
 	KeepConfirmed int
+	// Retry paces bundle-pull retries and restart catch-up rounds. The
+	// zero value selects env.DefaultBackoff(AliveInterval).
+	Retry env.Backoff
+	// CatchupWindow bounds the ring of completed blocks retained to serve
+	// BlockRequests from restarting peers (default 512, <0 disables).
+	CatchupWindow int
 }
 
 func (c *FullNodeConfig) withDefaults() FullNodeConfig {
@@ -68,6 +74,12 @@ func (c *FullNodeConfig) withDefaults() FullNodeConfig {
 	}
 	if out.HeartbeatInterval <= 0 {
 		out.HeartbeatInterval = time.Second
+	}
+	if out.Retry == (env.Backoff{}) {
+		out.Retry = env.DefaultBackoff(out.AliveInterval)
+	}
+	if out.CatchupWindow == 0 {
+		out.CatchupWindow = 512
 	}
 	return out
 }
@@ -119,6 +131,15 @@ type FullNode struct {
 	lastHeight uint64
 	seenBlocks map[crypto.Hash]uint64 // block hash → height, pruned as the chain advances
 	pendBlocks []*core.PredisBlock    // completable once bundles arrive, in arrival order
+	pulls      map[wire.NodeID]*pullState
+	recentBlks []*core.PredisBlock // retention ring serving BlockRequests
+	catchup    *zoneCatchup
+
+	// Periodic timers, stored so a restart can re-arm them (the fires
+	// suppressed during a crash permanently kill a self-re-arming chain).
+	aliveTimer     env.Timer
+	heartbeatTimer env.Timer
+	digestTimer    env.Timer
 
 	// Liveness tracking.
 	lastSeen map[wire.NodeID]time.Time
@@ -151,6 +172,7 @@ func NewFullNode(cfg FullNodeConfig) (*FullNode, error) {
 		consensusDir: make(map[uint8]bool),
 		zoneRelayers: make(map[wire.NodeID]*relayerInfo),
 		partials:     make(map[crypto.Hash]*partialBundle),
+		pulls:        make(map[wire.NodeID]*pullState),
 		seenBlocks:   make(map[crypto.Hash]uint64),
 		lastSeen:     make(map[wire.NodeID]time.Time),
 		lastCuts:     core.ZeroCuts(c.NC),
@@ -177,6 +199,9 @@ func (f *FullNode) Stats() (stripes, bundles, blocks uint64) {
 	return f.stripesIn, f.bundles, f.blocks
 }
 
+// ID returns this node's wire identity.
+func (f *FullNode) ID() wire.NodeID { return f.cfg.Self }
+
 // LastHeight returns the height of the last completed block.
 func (f *FullNode) LastHeight() uint64 { return f.lastHeight }
 
@@ -187,23 +212,28 @@ func (f *FullNode) Mempool() *core.Mempool { return f.mp }
 // Algorithm 1.
 func (f *FullNode) Start(ctx env.Context) {
 	f.ctx = ctx
-	// Ask a few zone peers for the current relayer set (Alg. 1 line 1).
-	asked := 0
-	for _, p := range f.cfg.ZonePeers {
-		if asked >= 3 {
-			break
-		}
-		ctx.Send(p, &GetRelayers{Zone: uint32(f.cfg.Zone)})
-		asked++
-	}
-	// Give responses a beat to arrive, then subscribe. The first node of
-	// a zone finds no relayers and goes straight to the consensus nodes.
-	ctx.After(50*time.Millisecond, f.runSubscription)
+	f.bootstrap()
 	f.armAlive()
 	f.armHeartbeat()
 	if f.cfg.DigestInterval > 0 && len(f.cfg.BackupPeers) > 0 {
 		f.armDigest()
 	}
+}
+
+// bootstrap runs relayer discovery: ask a few zone peers for the current
+// relayer set (Alg. 1 line 1), give responses a beat to arrive, then
+// subscribe. The first node of a zone finds no relayers and goes straight
+// to the consensus nodes. Also re-run on restart.
+func (f *FullNode) bootstrap() {
+	asked := 0
+	for _, p := range f.cfg.ZonePeers {
+		if asked >= 3 {
+			break
+		}
+		f.ctx.Send(p, &GetRelayers{Zone: uint32(f.cfg.Zone)})
+		asked++
+	}
+	f.ctx.After(50*time.Millisecond, f.runSubscription)
 }
 
 // runSubscription is Algorithm 1: subscribe up to half of each relayer's
@@ -255,8 +285,14 @@ func (f *FullNode) runSubscription() {
 			f.sendSubscribe(c.id, take)
 		}
 	}
-	// Alg. 1 lines 9-12: leftover stripes go straight to consensus node s.
+	// Alg. 1 lines 9-12: leftover stripes go straight to consensus node s
+	// (in stripe order, so map iteration never affects the wire).
+	leftover := make([]uint8, 0, len(neededSet))
 	for s := range neededSet {
+		leftover = append(leftover, s)
+	}
+	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
+	for _, s := range leftover {
 		f.sendSubscribe(wire.NodeID(s), []uint8{s})
 	}
 }
@@ -309,12 +345,17 @@ func (f *FullNode) Receive(from wire.NodeID, m wire.Message) {
 		// lastSeen already updated above.
 	case *BlockDigest:
 		f.onDigest(from, msg)
+	case *BlockRequest:
+		f.onBlockRequest(from, msg)
+	case *BlockResponse:
+		f.onBlockResponse(from, msg)
 	case *core.BundleRequest:
 		f.onBundleRequest(from, msg)
 	case *core.BundleResponse:
 		for _, b := range msg.Bundles {
 			f.storeBundle(b, true)
 		}
+		f.reconcilePulls()
 		f.tryCompleteBlocks()
 	default:
 		f.ctx.Logf("multizone: unexpected %s from %d", wire.TypeName(m.Type()), from)
@@ -326,17 +367,9 @@ func (f *FullNode) Receive(from wire.NodeID, m wire.Message) {
 func (f *FullNode) onSubscribe(from wire.NodeID, m *Subscribe) {
 	if f.subCount+len(m.Stripes) > f.cfg.MaxSubscribers {
 		// Refer the requester to our own subscribers (§IV-D).
-		var children []wire.NodeID
-		for _, subs := range f.subscribers {
-			for id := range subs {
-				children = append(children, id)
-				if len(children) >= 4 {
-					break
-				}
-			}
-			if len(children) >= 4 {
-				break
-			}
+		children := f.sortedSubscribers()
+		if len(children) > 4 {
+			children = children[:4]
 		}
 		f.ctx.Send(from, &RejectSubscribe{Stripes: m.Stripes, Children: children})
 		return
@@ -416,8 +449,13 @@ func (f *FullNode) onGetRelayers(from wire.NodeID, m *GetRelayers) {
 		return
 	}
 	info := &RelayersInfo{Zone: m.Zone}
-	for id, r := range f.zoneRelayers {
-		if r.active() {
+	ids := make([]wire.NodeID, 0, len(f.zoneRelayers))
+	for id := range f.zoneRelayers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if r := f.zoneRelayers[id]; r.active() {
 			info.Relayers = append(info.Relayers, RelayerEntry{Node: id, JoinSeq: r.joinSeq, Stripes: r.stripes})
 		}
 	}
@@ -539,7 +577,12 @@ func (f *FullNode) resubscribe(s uint8, to wire.NodeID) {
 
 func (f *FullNode) demote() {
 	f.isRelayer = false
+	direct := make([]uint8, 0, len(f.consensusDir))
 	for s := range f.consensusDir {
+		direct = append(direct, s)
+	}
+	sort.Slice(direct, func(i, j int) bool { return direct[i] < direct[j] })
+	for _, s := range direct {
 		f.ctx.Send(wire.NodeID(s), &Unsubscribe{Stripes: []uint8{s}})
 		delete(f.consensusDir, s)
 	}
@@ -571,7 +614,7 @@ func (f *FullNode) broadcastAlive() {
 // relayerAlive, expire dead relayers, and promote ourselves when the zone
 // has fewer than n_c relayers.
 func (f *FullNode) armAlive() {
-	f.ctx.After(f.cfg.AliveInterval, func() {
+	f.aliveTimer = f.ctx.After(f.cfg.AliveInterval, func() {
 		now := f.ctx.Now()
 		for id, info := range f.zoneRelayers {
 			if now.Sub(info.lastAlive) > 6*f.cfg.AliveInterval {
@@ -618,22 +661,25 @@ func (f *FullNode) armAlive() {
 }
 
 func (f *FullNode) armHeartbeat() {
-	f.ctx.After(f.cfg.HeartbeatInterval, func() {
+	f.heartbeatTimer = f.ctx.After(f.cfg.HeartbeatInterval, func() {
 		hb := &Heartbeat{}
 		sent := make(map[wire.NodeID]bool)
+		targets := make([]wire.NodeID, 0, len(f.stripeSender)+f.subCount)
 		for _, sd := range f.stripeSender {
 			if !sent[sd] {
 				sent[sd] = true
-				f.ctx.Send(sd, hb)
+				targets = append(targets, sd)
 			}
 		}
-		for _, subs := range f.subscribers {
-			for id := range subs {
-				if !sent[id] {
-					sent[id] = true
-					f.ctx.Send(id, hb)
-				}
+		for _, id := range f.sortedSubscribers() {
+			if !sent[id] {
+				sent[id] = true
+				targets = append(targets, id)
 			}
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, id := range targets {
+			f.ctx.Send(id, hb)
 		}
 		// Expire dead senders and resubscribe (§IV-E).
 		now := f.ctx.Now()
@@ -643,8 +689,38 @@ func (f *FullNode) armHeartbeat() {
 				delete(f.consensusDir, s)
 			}
 		}
+		// Expire dead subscribers too: a crashed child would otherwise keep
+		// consuming a subscription slot (and forwarding bandwidth) forever.
+		for s, subs := range f.subscribers {
+			for id := range subs {
+				if seen, ok := f.lastSeen[id]; ok && now.Sub(seen) > 3*f.cfg.HeartbeatInterval {
+					delete(subs, id)
+					f.subCount--
+				}
+			}
+			if len(subs) == 0 {
+				delete(f.subscribers, s)
+			}
+		}
 		f.armHeartbeat()
 	})
+}
+
+// sortedSubscribers returns the distinct subscriber IDs across all stripes
+// in ascending order (deterministic fan-out helper).
+func (f *FullNode) sortedSubscribers() []wire.NodeID {
+	seen := make(map[wire.NodeID]bool, f.subCount)
+	out := make([]wire.NodeID, 0, f.subCount)
+	for _, subs := range f.subscribers {
+		for id := range subs {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Leave announces departure and hands relayer duty to the earliest
@@ -660,14 +736,8 @@ func (f *FullNode) Leave() {
 		}
 		return
 	}
-	sent := make(map[wire.NodeID]bool)
-	for _, subs := range f.subscribers {
-		for id := range subs {
-			if !sent[id] {
-				sent[id] = true
-				f.ctx.Send(id, msg)
-			}
-		}
+	for _, id := range f.sortedSubscribers() {
+		f.ctx.Send(id, msg)
 	}
 }
 
@@ -686,10 +756,14 @@ func (f *FullNode) earliestSubscriber() (wire.NodeID, bool) {
 func (f *FullNode) onLeave(from wire.NodeID, m *Leave) {
 	// Our sender is going away: resubscribe its stripes. If it was a
 	// relayer, we take its place by going straight to consensus (§IV-E).
+	lost := make([]uint8, 0, 4)
 	for s, sd := range f.stripeSender {
-		if sd != from {
-			continue
+		if sd == from {
+			lost = append(lost, s)
 		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	for _, s := range lost {
 		delete(f.stripeSender, s)
 		delete(f.consensusDir, s)
 		if m.IsRelayer {

@@ -2,6 +2,7 @@ package multizone
 
 import (
 	"errors"
+	"sort"
 
 	"predis/internal/core"
 	"predis/internal/ledger"
@@ -59,12 +60,22 @@ func (f *FullNode) onStripe(from wire.NodeID, m *StripeMsg) {
 	}
 }
 
-// forwardStripe relays a stripe to this node's subscribers for its index.
+// forwardStripe relays a stripe to this node's subscribers for its index
+// (in ID order, so map iteration never affects the wire).
 func (f *FullNode) forwardStripe(from wire.NodeID, m *StripeMsg) {
-	for id := range f.subscribers[m.Index] {
+	subs := f.subscribers[m.Index]
+	if len(subs) == 0 {
+		return
+	}
+	ids := make([]wire.NodeID, 0, len(subs))
+	for id := range subs {
 		if id != from {
-			f.ctx.Send(id, m)
+			ids = append(ids, id)
 		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		f.ctx.Send(id, m)
 	}
 }
 
@@ -81,11 +92,11 @@ func (f *FullNode) storeBundle(b *core.Bundle, verify bool) {
 		}
 		return
 	case res == core.Buffered && miss != nil:
-		// Pull the gap over the backup path: ask a backup peer first (it
-		// is in another zone, so correlated loss is unlikely), falling
-		// back to the stripe sender for this producer's stripe.
-		target := f.pullTarget(miss.Producer)
-		f.ctx.Send(target, &core.BundleRequest{Producer: miss.Producer, From: miss.From, To: miss.To})
+		// Pull the gap over the backup path, with capped-backoff retries
+		// rotating across candidate holders (backup peers first — they are
+		// in another zone, so correlated loss is unlikely — then the stripe
+		// sender, then the producing consensus node).
+		f.schedulePull(miss.Producer, miss.From, miss.To)
 	case res == core.Added:
 		f.bundles++
 		if f.cfg.OnBundle != nil {
@@ -94,14 +105,28 @@ func (f *FullNode) storeBundle(b *core.Bundle, verify bool) {
 	}
 }
 
-func (f *FullNode) pullTarget(producer wire.NodeID) wire.NodeID {
+// pullTargets lists candidate holders for a producer's bundles in
+// preference order; schedulePull rotates through them across retries.
+func (f *FullNode) pullTargets(producer wire.NodeID) []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(f.cfg.BackupPeers)+2)
+	seen := make(map[wire.NodeID]bool, len(f.cfg.BackupPeers)+2)
+	add := func(id wire.NodeID) {
+		if id != f.cfg.Self && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
 	if len(f.cfg.BackupPeers) > 0 {
-		return f.cfg.BackupPeers[int(producer)%len(f.cfg.BackupPeers)]
+		add(f.cfg.BackupPeers[int(producer)%len(f.cfg.BackupPeers)])
 	}
 	if sd, ok := f.stripeSender[uint8(producer)%uint8(f.cfg.NC)]; ok {
-		return sd
+		add(sd)
 	}
-	return producer % wire.NodeID(f.cfg.NC)
+	for _, p := range f.cfg.BackupPeers {
+		add(p)
+	}
+	add(producer % wire.NodeID(f.cfg.NC))
+	return out
 }
 
 // onBlock handles a Predis block arriving over the relayer tree: verify,
@@ -117,15 +142,21 @@ func (f *FullNode) onBlock(from wire.NodeID, blk *core.PredisBlock) {
 		return
 	}
 	f.seenBlocks[h] = blk.Height
-	// Forward to every subscriber (each at most once).
+	// A live block leaping past our head means we missed blocks (restart,
+	// late join, or lost stripes): back-fill the gap immediately instead
+	// of waiting for the periodic digest, which a zone without backup
+	// peers never even sends.
+	if blk.Height > f.lastHeight+1 {
+		f.StartCatchup()
+		if cu := f.catchup; cu != nil && blk.Height-1 > cu.target {
+			cu.target = blk.Height - 1
+		}
+	}
+	// Forward to every subscriber (each at most once, in ID order).
 	msg := &ZoneBlock{Block: blk}
-	sent := map[wire.NodeID]bool{from: true}
-	for _, subs := range f.subscribers {
-		for id := range subs {
-			if !sent[id] {
-				sent[id] = true
-				f.ctx.Send(id, msg)
-			}
+	for _, id := range f.sortedSubscribers() {
+		if id != from {
+			f.ctx.Send(id, msg)
 		}
 	}
 	f.pendBlocks = append(f.pendBlocks, blk)
@@ -159,6 +190,7 @@ func (f *FullNode) tryCompleteBlocksFrom(sender wire.NodeID) {
 				f.lastHeight = blk.Height
 				f.blocks++
 				f.pendBlocks[i] = nil
+				f.pushRecentBlock(blk)
 				progress = true
 				if f.cfg.Ledger != nil {
 					if lerr := f.cfg.Ledger.Append(ledger.Entry{
@@ -198,6 +230,7 @@ func (f *FullNode) tryCompleteBlocksFrom(sender wire.NodeID) {
 		}
 	}
 	f.pendBlocks = kept
+	f.checkCatchupDone()
 }
 
 // onBundleRequest serves bundle pulls from peers (backup connections and
@@ -219,7 +252,7 @@ func (f *FullNode) onBundleRequest(from wire.NodeID, req *core.BundleRequest) {
 
 // armDigest exchanges ledger digests over backup connections (§IV-F).
 func (f *FullNode) armDigest() {
-	f.ctx.After(f.cfg.DigestInterval, func() {
+	f.digestTimer = f.ctx.After(f.cfg.DigestInterval, func() {
 		d := &BlockDigest{Height: f.lastHeight, Tips: f.mp.Tips()}
 		for _, p := range f.cfg.BackupPeers {
 			f.ctx.Send(p, d)
@@ -228,7 +261,9 @@ func (f *FullNode) armDigest() {
 	})
 }
 
-// onDigest pulls bundles we miss from a digest sender.
+// onDigest pulls bundles we miss from a digest sender; when the digest
+// also reveals we are behind on blocks (e.g. the relayer tree dropped a
+// ZoneBlock, or we just restarted), request the missing block run too.
 func (f *FullNode) onDigest(from wire.NodeID, m *BlockDigest) {
 	tips := f.mp.Tips()
 	for i, remote := range m.Tips {
@@ -240,6 +275,9 @@ func (f *FullNode) onDigest(from wire.NodeID, m *BlockDigest) {
 				Producer: wire.NodeID(i), From: tips[i] + 1, To: remote,
 			})
 		}
+	}
+	if m.Height > f.lastHeight {
+		f.ctx.Send(from, &BlockRequest{Height: f.lastHeight})
 	}
 }
 

@@ -40,12 +40,17 @@ type HostConfig struct {
 	// ReplyToClients / OnCommit: measurement hooks as in node.Config.
 	ReplyToClients bool
 	OnCommit       func(height uint64, txs int)
+	// SubscriberTTL expires relayer subscriptions that stopped
+	// heartbeating (0 disables; 3× the full nodes' HeartbeatInterval is a
+	// sensible value).
+	SubscriberTTL time.Duration
 }
 
 // NewConsensusHost builds the host. Multi-Zone always runs Predis (the
 // paper's deployment: Predis on BFT-SMaRt with Multi-Zone distribution).
 func NewConsensusHost(cfg HostConfig) (*ConsensusHost, error) {
 	dist := NewDistributor(cfg.Self, cfg.NC, cfg.Striper, cfg.MaxSubscribers)
+	dist.SetSubscriberTTL(cfg.SubscriberTTL)
 	n, err := node.New(node.Config{
 		Mode:           node.ModePredis,
 		Engine:         cfg.Engine,
@@ -77,6 +82,13 @@ func (h *ConsensusHost) Start(ctx env.Context) {
 	h.Dist.Start(ctx)
 	h.Node.Start(ctx)
 }
+
+var _ env.Restartable = (*ConsensusHost)(nil)
+
+// OnRestart implements env.Restartable: the consensus node re-arms its
+// timers and catches up; the distributor is stateless between sends and
+// keeps its subscriber set (relayers re-subscribe if they expired us).
+func (h *ConsensusHost) OnRestart() { h.Node.OnRestart() }
 
 // Receive implements env.Handler.
 func (h *ConsensusHost) Receive(from wire.NodeID, m wire.Message) {

@@ -6,6 +6,7 @@ package node
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"predis/internal/consensus"
@@ -250,6 +251,21 @@ func (n *Node) Start(ctx env.Context) {
 	n.engine.Start(ctx)
 }
 
+var _ env.Restartable = (*Node)(nil)
+
+// OnRestart implements env.Restartable: fan the restart out to the
+// engine (timer re-arm + view resync) and the data plane (timer re-arm +
+// committed-block catch-up). Components that are not restart-aware are
+// skipped; they resume with whatever state they kept.
+func (n *Node) OnRestart() {
+	if r, ok := n.engine.(env.Restartable); ok {
+		r.OnRestart()
+	}
+	if n.predis != nil {
+		n.predis.OnRestart()
+	}
+}
+
 // Receive implements env.Handler: route by message type range.
 func (n *Node) Receive(from wire.NodeID, m wire.Message) {
 	switch m.Type() & 0xff00 {
@@ -295,15 +311,21 @@ func (n *Node) handleCommit(height uint64, txs []*types.Transaction) {
 		return
 	}
 	// One batched BlockReply per client (replies are real traffic; §III-F).
+	// Send in client-ID order so map iteration never affects the wire.
 	byClient := make(map[wire.NodeID][]uint64)
+	clients := make([]wire.NodeID, 0, 8)
 	for _, tx := range txs {
+		if _, ok := byClient[tx.Client]; !ok {
+			clients = append(clients, tx.Client)
+		}
 		byClient[tx.Client] = append(byClient[tx.Client], tx.Seq)
 	}
-	for client, seqs := range byClient {
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, client := range clients {
 		n.ctx.Send(client, &types.BlockReply{
 			Height:  height,
 			Replica: n.cfg.Self,
-			Seqs:    seqs,
+			Seqs:    byClient[client],
 		})
 	}
 }

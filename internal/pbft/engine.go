@@ -3,6 +3,7 @@ package pbft
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"predis/internal/consensus"
@@ -81,14 +82,21 @@ type Engine struct {
 	suspicion env.Timer
 	repropose env.Timer
 
+	// statusViews collects view claims from StatusReply messages after a
+	// restart; nil while no status sync is running.
+	statusViews map[wire.NodeID]uint64
+
 	peers []wire.NodeID
 
 	// stats
 	committed   uint64
 	viewChanged uint64
+	restarts    uint64
 }
 
 var _ consensus.Engine = (*Engine)(nil)
+var _ consensus.FastForwarder = (*Engine)(nil)
+var _ env.Restartable = (*Engine)(nil)
 
 // New builds a PBFT replica engine.
 func New(cfg Config) (*Engine, error) {
@@ -143,8 +151,8 @@ func (e *Engine) Poke() {
 	if e.ctx == nil {
 		return
 	}
-	for _, inst := range e.instances {
-		if inst.pendingValid {
+	for _, seq := range e.sortedSeqs() {
+		if inst := e.instances[seq]; inst != nil && inst.pendingValid {
 			e.validateInstance(inst)
 		}
 	}
@@ -238,6 +246,17 @@ func (e *Engine) getInstance(seq, view uint64, digest crypto.Hash) *instance {
 	return inst
 }
 
+// sortedSeqs returns the live instance sequence numbers in ascending
+// order, so map iteration never leaks into message send order.
+func (e *Engine) sortedSeqs() []uint64 {
+	seqs := make([]uint64, 0, len(e.instances))
+	for seq := range e.instances {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
 // Receive implements env.Handler.
 func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 	switch msg := m.(type) {
@@ -251,6 +270,10 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 		e.onViewChange(from, msg)
 	case *NewView:
 		e.onNewView(from, msg)
+	case *StatusRequest:
+		e.onStatusRequest(from, msg)
+	case *StatusReply:
+		e.onStatusReply(from, msg)
 	default:
 		e.ctx.Logf("pbft: unexpected message %s from %d", wire.TypeName(m.Type()), from)
 	}
@@ -428,8 +451,8 @@ func (e *Engine) startViewChange(newView uint64) {
 	e.resetTimersForViewChange()
 
 	vc := &ViewChange{NewViewNum: newView, LastExec: e.lastExec, Replica: e.cfg.Self}
-	for _, inst := range e.instances {
-		if inst.prepared && inst.payload != nil {
+	for _, seq := range e.sortedSeqs() {
+		if inst := e.instances[seq]; inst.prepared && inst.payload != nil {
 			vc.Prepared = append(vc.Prepared, &PreparedEntry{
 				Seq: inst.seq, View: inst.view, Digest: inst.digest, Payload: inst.payload,
 			})
@@ -491,9 +514,15 @@ func (e *Engine) becomeLeader(newView uint64) {
 	env.Multicast(e.ctx, e.peers, nv)
 
 	// Re-propose the highest-view prepared payload per pending sequence.
+	// Iterate in replica order so ties resolve deterministically.
+	replicas := make([]wire.NodeID, 0, len(vcs))
+	for r := range vcs {
+		replicas = append(replicas, r)
+	}
+	sort.Slice(replicas, func(i, j int) bool { return replicas[i] < replicas[j] })
 	best := make(map[uint64]*PreparedEntry)
-	for _, vc := range vcs {
-		for _, p := range vc.Prepared {
+	for _, r := range replicas {
+		for _, p := range vcs[r].Prepared {
 			if cur, ok := best[p.Seq]; !ok || p.View > cur.View {
 				best[p.Seq] = p
 			}
@@ -520,6 +549,88 @@ func (e *Engine) onNewView(from wire.NodeID, m *NewView) {
 		return
 	}
 	e.adoptView(m.View)
+}
+
+// --- crash recovery ---
+
+// FastForward implements consensus.FastForwarder: the application learned
+// (and executed) committed blocks through its catch-up protocol, so skip
+// the engine past them. Instances at or below the new height are dropped;
+// later pending instances revalidate against the new parent payload.
+func (e *Engine) FastForward(height uint64, payload wire.Message) {
+	if height <= e.lastExec {
+		return
+	}
+	e.lastExec = height
+	e.lastPayload = payload
+	for seq := range e.instances {
+		if seq <= height {
+			delete(e.instances, seq)
+		}
+	}
+	e.resetSuspicion()
+	e.Poke()
+}
+
+// OnRestart implements env.Restartable. A crashed replica loses every
+// pending timer (the repropose chain re-arms inside its own callback, so
+// a crash kills it permanently) and may have missed view changes. Re-arm
+// the timer chain, drop half-finished view-change state, and broadcast a
+// StatusRequest to resynchronize the view.
+func (e *Engine) OnRestart() {
+	if e.ctx == nil {
+		return
+	}
+	e.restarts++
+	if e.repropose != nil {
+		e.repropose.Stop()
+	}
+	e.armRepropose()
+	if e.suspicion != nil {
+		e.suspicion.Stop()
+		e.suspicion = nil
+	}
+	e.vcBackoff = 0
+	e.inViewChange = false
+	e.proposedView = e.view
+	e.statusViews = make(map[wire.NodeID]uint64)
+	env.Multicast(e.ctx, e.peers, &StatusRequest{Replica: e.cfg.Self})
+	e.Poke()
+}
+
+func (e *Engine) onStatusRequest(from wire.NodeID, m *StatusRequest) {
+	if m.Replica != from {
+		return
+	}
+	sr := &StatusReply{View: e.view, LastExec: e.lastExec, Replica: e.cfg.Self}
+	sr.Sig = e.cfg.Signer.Sign(sr.signDigest())
+	e.ctx.Send(from, sr)
+}
+
+// onStatusReply adopts the (f+1)-th largest reported view once enough
+// replies arrive: at least one honest replica is at or beyond that view,
+// and honest replicas only reach a view through a valid view change.
+func (e *Engine) onStatusReply(from wire.NodeID, m *StatusReply) {
+	if e.statusViews == nil || m.Replica != from {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Replica), m.signDigest(), m.Sig) {
+		return
+	}
+	e.statusViews[from] = m.View
+	if len(e.statusViews) < e.f+1 {
+		return
+	}
+	views := make([]uint64, 0, len(e.statusViews))
+	for _, v := range e.statusViews {
+		views = append(views, v)
+	}
+	sort.Slice(views, func(i, j int) bool { return views[i] > views[j] })
+	candidate := views[e.f]
+	if candidate > e.view {
+		e.adoptView(candidate)
+		e.Poke()
+	}
 }
 
 // adoptView moves to a new view, clearing per-view vote state on

@@ -20,11 +20,13 @@ import (
 
 // Message type tags.
 const (
-	TypePrePrepare = wire.TypeRangePBFT + 1
-	TypePrepare    = wire.TypeRangePBFT + 2
-	TypeCommit     = wire.TypeRangePBFT + 3
-	TypeViewChange = wire.TypeRangePBFT + 4
-	TypeNewView    = wire.TypeRangePBFT + 5
+	TypePrePrepare    = wire.TypeRangePBFT + 1
+	TypePrepare       = wire.TypeRangePBFT + 2
+	TypeCommit        = wire.TypeRangePBFT + 3
+	TypeViewChange    = wire.TypeRangePBFT + 4
+	TypeNewView       = wire.TypeRangePBFT + 5
+	TypeStatusRequest = wire.TypeRangePBFT + 6
+	TypeStatusReply   = wire.TypeRangePBFT + 7
 )
 
 // voteKind distinguishes the digests signed in each phase so a prepare
@@ -37,6 +39,7 @@ const (
 	kindCommit     voteKind = 3
 	kindViewChange voteKind = 4
 	kindNewView    voteKind = 5
+	kindStatus     voteKind = 6
 )
 
 // voteDigest derives the signing digest for a phase vote.
@@ -317,6 +320,67 @@ func (m *NewView) signDigest() crypto.Hash {
 	return voteDigest(kindNewView, m.View, m.LastExec, crypto.ZeroHash)
 }
 
+// StatusRequest asks peers for their view/execution status. A restarted
+// replica broadcasts it to resynchronize its view: while it was down the
+// cluster may have completed view changes it never saw, and onPrePrepare
+// rejects proposals from any view but its own.
+type StatusRequest struct {
+	Replica wire.NodeID
+}
+
+var _ wire.Message = (*StatusRequest)(nil)
+
+// Type implements wire.Message.
+func (m *StatusRequest) Type() wire.Type { return TypeStatusRequest }
+
+// WireSize implements wire.Message.
+func (m *StatusRequest) WireSize() int { return wire.FrameOverhead + 4 }
+
+// EncodeBody implements wire.Message.
+func (m *StatusRequest) EncodeBody(e *wire.Encoder) { e.Node(m.Replica) }
+
+func decodeStatusRequest(d *wire.Decoder) (wire.Message, error) {
+	m := &StatusRequest{Replica: d.Node()}
+	return m, d.Err()
+}
+
+// StatusReply reports the sender's current view and last executed
+// sequence number, signed so a restarted replica can safely adopt the
+// (f+1)-th largest reported view (at least one honest replica is there).
+type StatusReply struct {
+	View     uint64
+	LastExec uint64
+	Replica  wire.NodeID
+	Sig      []byte
+}
+
+var _ wire.Message = (*StatusReply)(nil)
+
+// Type implements wire.Message.
+func (m *StatusReply) Type() wire.Type { return TypeStatusReply }
+
+// WireSize implements wire.Message.
+func (m *StatusReply) WireSize() int {
+	return wire.FrameOverhead + 8 + 8 + 4 + wire.SizeVarBytes(m.Sig)
+}
+
+// EncodeBody implements wire.Message.
+func (m *StatusReply) EncodeBody(e *wire.Encoder) {
+	e.U64(m.View)
+	e.U64(m.LastExec)
+	e.Node(m.Replica)
+	e.VarBytes(m.Sig)
+}
+
+func decodeStatusReply(d *wire.Decoder) (wire.Message, error) {
+	m := &StatusReply{View: d.U64(), LastExec: d.U64(), Replica: d.Node(), Sig: d.VarBytes()}
+	return m, d.Err()
+}
+
+func (m *StatusReply) signDigest() crypto.Hash {
+	return voteDigest(kindStatus, m.View, m.LastExec, crypto.ZeroHash)
+}
+
 var registerOnce sync.Once
 
 // RegisterMessages registers PBFT message types; idempotent.
@@ -327,5 +391,7 @@ func RegisterMessages() {
 		wire.Register(TypeCommit, "pbft.commit", decodeCommit)
 		wire.Register(TypeViewChange, "pbft.viewchange", decodeViewChange)
 		wire.Register(TypeNewView, "pbft.newview", decodeNewView)
+		wire.Register(TypeStatusRequest, "pbft.status_req", decodeStatusRequest)
+		wire.Register(TypeStatusReply, "pbft.status_reply", decodeStatusReply)
 	})
 }

@@ -47,6 +47,12 @@ type Config struct {
 	SendQueue int
 	// DialTimeout bounds connection attempts (default 3s).
 	DialTimeout time.Duration
+	// Redial is the backoff policy for outbound redials. The zero value
+	// selects env.DefaultBackoff(100ms) capped at 5s: 100ms doubling to
+	// 1.6s nominal with ±25% jitter, hard-capped at 5s, so a flapping
+	// peer is not hammered and reconnecting peers do not stampede in
+	// lockstep.
+	Redial env.Backoff
 }
 
 // Runtime hosts one handler.
@@ -88,6 +94,10 @@ func New(cfg Config, h env.Handler) (*Runtime, error) {
 	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 3 * time.Second
+	}
+	if cfg.Redial.Base <= 0 {
+		cfg.Redial = env.DefaultBackoff(100 * time.Millisecond)
+		cfg.Redial.Max = 5 * time.Second
 	}
 	r := &Runtime{
 		cfg:     cfg,
@@ -261,7 +271,8 @@ func (r *Runtime) peer(id wire.NodeID) *peerConn {
 	return pc
 }
 
-// writeLoop dials (with backoff) and drains the peer's queue.
+// writeLoop dials (with the configured redial backoff) and drains the
+// peer's queue.
 func (r *Runtime) writeLoop(pc *peerConn) {
 	defer r.wg.Done()
 	var c net.Conn
@@ -270,7 +281,12 @@ func (r *Runtime) writeLoop(pc *peerConn) {
 			_ = c.Close()
 		}
 	}()
-	backoff := 100 * time.Millisecond
+	// Per-loop jitter source: writeLoop runs on its own goroutine, so it
+	// must not share the handler's rng. Seeded per (self, peer) pair so
+	// two runtimes redialing the same peer stay decorrelated.
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^
+		int64(r.cfg.Self+1)*0x5851f42d4c957f2d ^ int64(pc.id+1)*0x2545f4914f6cdd1d))
+	attempt := 0
 	for frame := range pc.queue {
 		for c == nil {
 			select {
@@ -280,14 +296,13 @@ func (r *Runtime) writeLoop(pc *peerConn) {
 			}
 			conn, err := net.DialTimeout("tcp", pc.addr, r.cfg.DialTimeout)
 			if err != nil {
-				r.logf("dial %d@%s: %v", pc.id, pc.addr, err)
+				delay := r.cfg.Redial.Delay(attempt, rng)
+				attempt++
+				r.logf("dial %d@%s: %v (retry in %v)", pc.id, pc.addr, err, delay)
 				select {
-				case <-time.After(backoff):
+				case <-time.After(delay):
 				case <-r.stop:
 					return
-				}
-				if backoff < 5*time.Second {
-					backoff *= 2
 				}
 				continue
 			}
@@ -298,7 +313,7 @@ func (r *Runtime) writeLoop(pc *peerConn) {
 				continue
 			}
 			c = conn
-			backoff = 100 * time.Millisecond
+			attempt = 0
 		}
 		if _, err := c.Write(frame); err != nil {
 			r.logf("write to %d: %v", pc.id, err)

@@ -273,9 +273,44 @@ func (n *Network) schedule(at time.Time, node wire.NodeID, fn func()) *event {
 // its pending timers are suppressed.
 func (n *Network) Crash(id wire.NodeID) { n.crashed[id] = true }
 
-// Restart clears a crash flag. State inside the handler is untouched, so
-// this models a network reconnect rather than a process restart.
-func (n *Network) Restart(id wire.NodeID) { delete(n.crashed, id) }
+// Restart brings a crashed node back up. The crash flag is cleared, the
+// node's NIC queues are reset (a rebooted machine does not inherit its
+// pre-crash serialization backlog), and — if the handler implements
+// env.Restartable — OnRestart is scheduled on the node's executor so the
+// handler can re-arm timers and run its catch-up protocol. Handler state
+// is otherwise untouched: this models a process restart that recovers its
+// persistent state (ledger, keys) but has lost all in-flight timers and
+// messages. Restarting a node that is not crashed is a no-op.
+func (n *Network) Restart(id wire.NodeID) {
+	if !n.crashed[id] {
+		return
+	}
+	delete(n.crashed, id)
+	sn, ok := n.nodes[id]
+	if !ok {
+		return
+	}
+	sn.upFree = n.now
+	sn.downFree = n.now
+	if r, ok := sn.handler.(env.Restartable); ok {
+		n.schedule(n.now, id, func() {
+			if n.crashed[id] {
+				return // re-crashed before the restart event ran
+			}
+			r.OnRestart()
+		})
+	}
+}
+
+// At schedules fn to run at virtual time d after the epoch (clamped to
+// now if already past). It is the hook fault-injection scripts use to
+// drive Crash/Restart/SetPartition/SetDropFilter at scripted times from
+// within the event loop, keeping fault timing deterministic relative to
+// protocol events. The callback runs on the simulator goroutine and is
+// not tied to any node (it fires even if every node is crashed).
+func (n *Network) At(d time.Duration, fn func()) {
+	n.schedule(Epoch.Add(d), wire.NoNode, fn)
+}
 
 // Crashed reports whether a node is currently crashed.
 func (n *Network) Crashed(id wire.NodeID) bool { return n.crashed[id] }

@@ -367,3 +367,146 @@ func TestMulticastSkipsSelf(t *testing.T) {
 		t.Fatal("multicast missed a peer")
 	}
 }
+
+// chirper is a Restartable handler with a self-re-arming timer chain that
+// records every tick; it also pings a peer on each tick so the test can
+// observe its traffic from outside.
+type chirper struct {
+	ctx      env.Context
+	peer     wire.NodeID
+	period   time.Duration
+	ticks    []time.Duration
+	restarts int
+	seq      uint64
+}
+
+func (c *chirper) Start(ctx env.Context) {
+	c.ctx = ctx
+	c.arm()
+}
+
+func (c *chirper) arm() {
+	c.ctx.After(c.period, func() {
+		c.ticks = append(c.ticks, c.ctx.Now().Sub(Epoch))
+		c.seq++
+		c.ctx.Send(c.peer, &ping{Seq: c.seq})
+		c.arm()
+	})
+}
+
+// OnRestart implements env.Restartable: re-arm the timer chain the crash
+// killed.
+func (c *chirper) OnRestart() {
+	c.restarts++
+	c.arm()
+}
+
+func (c *chirper) Receive(from wire.NodeID, m wire.Message) {}
+
+// TestRestartInvokesRestartableHook crashes a node whose only liveness
+// comes from a self-re-arming timer chain, restarts it, and asserts the
+// OnRestart hook ran and the chain resumed: without the hook the node
+// would stay silent forever (the crash suppressed the pending fire).
+func TestRestartInvokesRestartableHook(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{Latency: UniformLatency(time.Millisecond)})
+	c := &chirper{peer: 1, period: 10 * time.Millisecond}
+	sink := &recorder{}
+	n.AddNode(0, c)
+	n.AddNode(1, sink)
+	n.At(35*time.Millisecond, func() { n.Crash(0) })
+	n.At(80*time.Millisecond, func() { n.Restart(0) })
+	n.Start()
+	n.Run(150 * time.Millisecond)
+
+	if c.restarts != 1 {
+		t.Fatalf("OnRestart ran %d times, want 1", c.restarts)
+	}
+	var before, after int
+	for _, at := range c.ticks {
+		switch {
+		case at < 35*time.Millisecond:
+			before++
+		case at >= 80*time.Millisecond:
+			after++
+		default:
+			t.Fatalf("tick at %v inside the crash window", at)
+		}
+	}
+	if before != 3 {
+		t.Fatalf("%d pre-crash ticks, want 3", before)
+	}
+	if after < 5 {
+		t.Fatalf("%d post-restart ticks, want ≥ 5 (chain did not resume)", after)
+	}
+	// The final tick can land exactly on the run horizon, leaving its ping
+	// undelivered; allow that one message of slack.
+	if len(sink.got) < before+after-1 {
+		t.Fatalf("sink saw %d pings, chirper ticked %d times", len(sink.got), before+after)
+	}
+}
+
+// TestRestartWithoutRestartableStaysQuiet documents the contract for
+// handlers that do NOT implement env.Restartable: the node becomes
+// reachable again but its dead timer chain stays dead.
+func TestRestartWithoutRestartableStaysQuiet(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{Latency: UniformLatency(time.Millisecond)})
+	ticks := 0
+	a := &recorder{}
+	a.onStart = func(ctx env.Context) {
+		var arm func()
+		arm = func() {
+			ctx.After(10*time.Millisecond, func() { ticks++; arm() })
+		}
+		arm()
+	}
+	b := &recorder{}
+	n.AddNode(0, a)
+	n.AddNode(1, b)
+	n.At(35*time.Millisecond, func() { n.Crash(0) })
+	n.At(50*time.Millisecond, func() { n.Restart(0) })
+	n.Start()
+	n.Run(200 * time.Millisecond)
+	if ticks != 3 {
+		t.Fatalf("plain handler ticked %d times, want 3 (chain must die at crash)", ticks)
+	}
+	// ...but message delivery to the node resumed.
+	b.ctx.Send(0, &ping{Seq: 1})
+	n.Run(250 * time.Millisecond)
+	if len(a.got) != 1 {
+		t.Fatalf("restarted node got %d messages, want 1", len(a.got))
+	}
+}
+
+// TestCrashRestartDeterministic replays a scripted crash/restart run
+// twice and demands bit-identical tick traces and delivery counts.
+func TestCrashRestartDeterministic(t *testing.T) {
+	registerTestTypes()
+	run := func() ([]time.Duration, int, uint64) {
+		n := New(Config{Latency: LANLatency(), Seed: 42})
+		c := &chirper{peer: 1, period: 7 * time.Millisecond}
+		sink := &recorder{}
+		n.AddNode(0, c)
+		n.AddNode(1, sink)
+		n.At(20*time.Millisecond, func() { n.Crash(0) })
+		n.At(51*time.Millisecond, func() { n.Restart(0) })
+		n.Start()
+		n.Run(120 * time.Millisecond)
+		return c.ticks, len(sink.got), n.Delivered()
+	}
+	t1, g1, d1 := run()
+	t2, g2, d2 := run()
+	if g1 != g2 || d1 != d2 || len(t1) != len(t2) {
+		t.Fatalf("nondeterministic: got %d/%d msgs, %d/%d delivered, %d/%d ticks",
+			g1, g2, d1, d2, len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("tick %d at %v vs %v", i, t1[i], t2[i])
+		}
+	}
+	if g1 == 0 {
+		t.Fatal("empty run")
+	}
+}
