@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet test race fmt bench ci
+.PHONY: all build vet lint test race fmt bench ci
 
 all: ci
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	go vet ./...
+
+# predis-lint: the repo's own go/analysis suite (tools/analyzers). It
+# enforces the simnet determinism contract, wire round-trip symmetry,
+# lock discipline in sim-visible code, and dropped-error hygiene on
+# wire/rtnet/ledger paths. Also usable as: go vet -vettool=$(shell
+# pwd)/bin/predis-lint ./... after `go build -o bin/predis-lint
+# ./cmd/predis-lint`.
+lint:
+	go run ./cmd/predis-lint ./...
 
 test:
 	go test ./...
@@ -22,4 +31,4 @@ fmt:
 bench:
 	go test -bench=. -benchmem
 
-ci: fmt build vet race
+ci: fmt build vet lint race

@@ -1,0 +1,176 @@
+// Command predis-lint runs the repository's custom static-analysis suite
+// — determinism, wiresym, lockorder, errchecklite — which mechanically
+// enforces the simnet determinism contract and the wire-symmetry
+// invariant (see DESIGN.md, "The determinism contract").
+//
+// Standalone (the Makefile's `make lint`):
+//
+//	go run ./cmd/predis-lint ./...
+//	predis-lint -analyzers determinism,wiresym ./internal/...
+//
+// As a vet tool (per-package, driven by the go command):
+//
+//	go build -o bin/predis-lint ./cmd/predis-lint
+//	go vet -vettool=$(pwd)/bin/predis-lint ./...
+//
+// Exit status: 0 clean, 1 diagnostics reported, 2 operational failure.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/suite"
+)
+
+func main() {
+	var (
+		version   = flag.String("V", "", "print version and exit (go vet protocol)")
+		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: predis-lint [-analyzers a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "       predis-lint <unit>.cfg   (go vet -vettool mode)\n\n")
+		flag.PrintDefaults()
+	}
+	// go vet probes tools with a bare `-flags` argument and expects a
+	// JSON description of the flags they accept; an empty list tells the
+	// go command to pass none, which is all predis-lint needs.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	flag.Parse()
+
+	if *version != "" {
+		// The go command probes tools with -V=full and derives a tool ID
+		// from the reply; for "devel" tools it requires a trailing
+		// buildID= field, so hash the executable (same scheme as the
+		// x/tools unitchecker).
+		name := filepath.Base(os.Args[0])
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predis-lint:", err)
+			os.Exit(2)
+		}
+		data, err := os.ReadFile(exe)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predis-lint:", err)
+			os.Exit(2)
+		}
+		sum := sha256.Sum256(data)
+		fmt.Printf("%s version devel buildID=%02x\n", name, sum)
+		return
+	}
+	if *list {
+		for _, a := range suite.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active := suite.All()
+	if *analyzers != "" {
+		active = suite.ByName(strings.Split(*analyzers, ","))
+		if len(active) == 0 {
+			fmt.Fprintf(os.Stderr, "predis-lint: no analyzers match %q\n", *analyzers)
+			os.Exit(2)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettool(args[0], active))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predis-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(runOn(dir, args, active, os.Stdout))
+}
+
+// runOn loads patterns relative to dir, runs the suite, and prints
+// diagnostics; it returns the process exit code.
+func runOn(dir string, patterns []string, active []*analysis.Analyzer, out *os.File) int {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predis-lint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predis-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(out, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "predis-lint: %d issue(s) in %d package(s)\n",
+			len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the subset of the go vet unit-checking protocol config
+// predis-lint consumes (see x/tools unitchecker for the full schema).
+type vetConfig struct {
+	ImportPath                string
+	Dir                       string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool implements the `go vet -vettool` protocol: read the unit
+// config, always produce the facts file the go command expects, and —
+// for packages under analysis (not fact-only dependencies) — run the
+// suite via the source loader.
+func vettool(cfgPath string, active []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "predis-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "predis-lint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		// predis-lint keeps no cross-package facts; an empty file
+		// satisfies the protocol.
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "predis-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir, _ = os.Getwd()
+	}
+	code := runOn(dir, []string{cfg.ImportPath}, active, os.Stderr)
+	if code == 2 && cfg.SucceedOnTypecheckFailure {
+		return 0
+	}
+	if code == 1 {
+		return 2 // vet convention: any nonzero fails the build
+	}
+	return code
+}

@@ -65,6 +65,9 @@ type PointSpec struct {
 	Duration   time.Duration
 	Seed       int64
 	Faults     map[wire.NodeID]core.FaultMode
+	// Trace, when non-nil, folds every delivery into a replay hash so
+	// tests can assert two same-seed runs are byte-identical.
+	Trace *ReplayTrace
 }
 
 func (s *PointSpec) withDefaults() PointSpec {
@@ -122,6 +125,9 @@ func RunPoint(spec PointSpec) (PointResult, error) {
 		Latency:  latency,
 		Seed:     s.Seed,
 	})
+	if s.Trace != nil {
+		s.Trace.Attach(net)
+	}
 	warm := simnet.Epoch.Add(s.Duration / 4)
 	end := simnet.Epoch.Add(s.Duration)
 	col := workload.NewCollector(warm, end)

@@ -36,6 +36,9 @@ type recoverySpec struct {
 	// catch-up); false crashes the first-joined full node of zone 0 (a
 	// relayer, forcing stripe re-subscription and zone catch-up).
 	victimConsensus bool
+	// trace, when non-nil, accumulates the replay hash of every delivery
+	// (see ReplayTrace).
+	trace *ReplayTrace
 }
 
 // recoveryResult is one run's outcome.
@@ -65,6 +68,10 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 		Uplink: simnet.Mbps100, Downlink: simnet.Mbps100,
 		Latency: simnet.LANLatency(), Seed: spec.seed,
 	})
+
+	if spec.trace != nil {
+		spec.trace.Attach(net)
+	}
 
 	nBuckets := int(spec.duration/spec.bucket) + 1
 	buckets := make([]float64, nBuckets)

@@ -452,12 +452,17 @@ func (m *BlockResponse) Type() wire.Type { return TypeBlockResponse }
 
 // WireSize implements wire.Message.
 func (m *BlockResponse) WireSize() int {
+	// Embedded blocks are encoded body-only (EncodeBody), so their own
+	// frame overhead must not be counted — the simulator charges exactly
+	// WireSize bytes of bandwidth, and the catch-up path would otherwise
+	// be billed 6 spurious bytes per block (caught by wiresym's round-trip
+	// coverage requirement).
 	n := wire.FrameOverhead + 8 + 1 + 4
 	if m.Anchor != nil {
-		n += m.Anchor.WireSize()
+		n += m.Anchor.WireSize() - wire.FrameOverhead
 	}
 	for _, b := range m.Blocks {
-		n += b.WireSize()
+		n += b.WireSize() - wire.FrameOverhead
 	}
 	return n
 }

@@ -266,6 +266,26 @@ func TestPBFTMessageCodecs(t *testing.T) {
 	if len(wire.Marshal(nv)) != nv.WireSize() {
 		t.Fatal("NewView WireSize mismatch")
 	}
+
+	sr := &StatusRequest{Replica: 2}
+	if got, err := wire.Roundtrip(sr); err != nil || *got.(*StatusRequest) != *sr {
+		t.Fatalf("StatusRequest roundtrip: %v", err)
+	}
+	if len(wire.Marshal(sr)) != sr.WireSize() {
+		t.Fatal("StatusRequest WireSize mismatch")
+	}
+
+	st := &StatusReply{View: 4, LastExec: 17, Replica: 1, Sig: make([]byte, 64)}
+	got3, err := wire.Roundtrip(st)
+	if err != nil {
+		t.Fatalf("StatusReply roundtrip: %v", err)
+	}
+	if g := got3.(*StatusReply); g.View != st.View || g.LastExec != st.LastExec || g.Replica != st.Replica {
+		t.Fatal("StatusReply fields changed in roundtrip")
+	}
+	if len(wire.Marshal(st)) != st.WireSize() {
+		t.Fatal("StatusReply WireSize mismatch")
+	}
 }
 
 func TestVoteDigestDomainSeparation(t *testing.T) {

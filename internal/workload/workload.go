@@ -10,6 +10,7 @@
 package workload
 
 import (
+	"sort"
 	"time"
 
 	"predis/internal/env"
@@ -215,11 +216,20 @@ func (c *Client) tick() {
 
 // resubmitOverdue re-sends unconfirmed transactions to the next consensus
 // node (§III-E): with at most f faulty nodes, f+1 attempts reach an honest
-// packer. A few per tick bounds the extra load.
+// packer. A few per tick bounds the extra load. Pending transactions are
+// visited in ascending sequence order — oldest first, and never in map
+// order, which would leak Go's randomized iteration into the simulation
+// schedule (predis-lint: determinism).
 func (c *Client) resubmitOverdue(now time.Time) {
 	const perTick = 8
 	count := 0
-	for _, p := range c.pending {
+	seqs := make([]uint64, 0, len(c.pending))
+	for seq := range c.pending {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, seq := range seqs {
+		p := c.pending[seq]
 		if count >= perTick {
 			return
 		}

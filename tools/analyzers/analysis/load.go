@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	// Syntax holds compiled files followed by in-package test files.
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	lookup func(path string) *types.Package
+}
+
+// listedPkg mirrors the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath  string
+	Name        string
+	Dir         string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	Imports     []string
+	TestImports []string
+	ImportMap   map[string]string
+	Error       *struct{ Err string }
+
+	syntax []*ast.File // parsed compiled files (lazily)
+}
+
+// loader type-checks packages from source. The hermetic build environment
+// has no pre-compiled export data and no x/tools, so the loader does what
+// x/tools' "source" importer does: it asks `go list` for the file sets of
+// every (transitive) dependency — standard library included — and runs
+// go/types over them in dependency order, memoizing results.
+type loader struct {
+	dir    string // directory to run `go list` in (any dir inside the module)
+	fset   *token.FileSet
+	listed map[string]*listedPkg
+	types  map[string]*types.Package // memoized pure (non-test) packages
+	active map[string]bool           // import-cycle guard
+}
+
+// Load lists patterns in dir (a directory inside the target module),
+// type-checks them and all dependencies from source, and returns the
+// matched packages with their in-package test files merged in.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ld := &loader{
+		dir:    dir,
+		fset:   token.NewFileSet(),
+		listed: make(map[string]*listedPkg),
+		types:  make(map[string]*types.Package),
+		active: make(map[string]bool),
+	}
+	if err := ld.list(append([]string{"-deps"}, patterns...)); err != nil {
+		return nil, err
+	}
+
+	// Targets are the pattern matches; everything else came in via -deps.
+	var targets []*listedPkg
+	for _, lp := range ld.listed {
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	// Test files may import packages outside the -deps closure (testing,
+	// net/http/httptest, ...); list those too.
+	missing := make(map[string]bool)
+	for _, lp := range targets {
+		for _, imp := range lp.TestImports {
+			if imp != "C" && ld.listed[imp] == nil {
+				missing[imp] = true
+			}
+		}
+	}
+	if len(missing) > 0 {
+		args := []string{"-deps"}
+		for imp := range missing {
+			args = append(args, imp)
+		}
+		if err := ld.list(args); err != nil {
+			return nil, err
+		}
+	}
+
+	// Pure pass first: every target is available to importers (including
+	// its own test dependencies) before any test-augmented check runs.
+	for _, lp := range targets {
+		if _, err := ld.check(lp.ImportPath); err != nil {
+			return nil, err
+		}
+	}
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, lp := range targets {
+		pkg, err := ld.checkWithTests(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sortPackages(pkgs)
+	return pkgs, nil
+}
+
+func sortPackages(pkgs []*Package) {
+	for i := 1; i < len(pkgs); i++ {
+		for j := i; j > 0 && pkgs[j].PkgPath < pkgs[j-1].PkgPath; j-- {
+			pkgs[j], pkgs[j-1] = pkgs[j-1], pkgs[j]
+		}
+	}
+}
+
+// list runs `go list -e -json <args>` and merges the results.
+func (ld *loader) list(args []string) error {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-json"}, args...)...)
+	cmd.Dir = ld.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(out)
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return fmt.Errorf("go list: decoding output: %w (stderr: %s)", err, stderr.String())
+		}
+		if prev, ok := ld.listed[lp.ImportPath]; ok {
+			// Keep target status if either listing granted it.
+			if !lp.DepOnly {
+				prev.DepOnly = false
+			}
+			continue
+		}
+		cp := lp
+		ld.listed[lp.ImportPath] = &cp
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return nil
+}
+
+// parse parses the package's compiled Go files (memoized).
+func (ld *loader) parse(lp *listedPkg) ([]*ast.File, error) {
+	if lp.syntax != nil {
+		return lp.syntax, nil
+	}
+	files, err := ld.parseFiles(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	lp.syntax = files
+	return files, nil
+}
+
+func (ld *loader) parseFiles(dir string, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name),
+			nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks the package (without test files), memoized.
+func (ld *loader) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := ld.types[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := ld.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("load: package %q not in go list output", path)
+	}
+	if lp.Error != nil && !lp.Standard {
+		return nil, fmt.Errorf("load: %s: %s", path, lp.Error.Err)
+	}
+	if ld.active[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	ld.active[path] = true
+	defer delete(ld.active, path)
+
+	files, err := ld.parse(lp)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	pkg, _, err := ld.typeCheck(lp, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	ld.types[path] = pkg
+	return pkg, nil
+}
+
+// checkWithTests re-checks a target package with its in-package test
+// files appended and full type information recorded.
+func (ld *loader) checkWithTests(lp *listedPkg) (*Package, error) {
+	files, err := ld.parse(lp)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", lp.ImportPath, err)
+	}
+	if len(lp.TestGoFiles) > 0 {
+		testFiles, err := ld.parseFiles(lp.Dir, lp.TestGoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %w", lp.ImportPath, err)
+		}
+		files = append(append([]*ast.File{}, files...), testFiles...)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	pkg, hardErr, err := ld.typeCheck(lp, files, info)
+	if err != nil {
+		return nil, err
+	}
+	if hardErr != nil {
+		return nil, fmt.Errorf("load: %s: %w", lp.ImportPath, hardErr)
+	}
+	return &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    ld.fset,
+		Syntax:  files,
+		Types:   pkg,
+		Info:    info,
+		lookup: func(path string) *types.Package {
+			return ld.types[path]
+		},
+	}, nil
+}
+
+// typeCheck runs go/types over the files. Errors in standard-library
+// packages are tolerated (the checker still produces a usable package;
+// exotic runtime-internal constructs are not our lint targets); errors in
+// module packages are returned so the caller can surface them.
+func (ld *loader) typeCheck(lp *listedPkg, files []*ast.File, info *types.Info) (*types.Package, error, error) {
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := lp.ImportMap[path]; ok && mapped != "" {
+				path = mapped
+			}
+			return ld.check(path)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+		FakeImportC: true,
+	}
+	pkg, _ := conf.Check(lp.ImportPath, ld.fset, files, info)
+	if pkg == nil {
+		return nil, nil, fmt.Errorf("load: %s: %v", lp.ImportPath, firstErr)
+	}
+	if lp.Standard {
+		return pkg, nil, nil
+	}
+	return pkg, firstErr, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunFixture is this framework's analysistest.Run: it loads the fixture
+// package(s) matched by patterns inside moduleDir (a standalone test
+// module, typically tools/analyzers/testdata), runs the analyzers, and
+// matches every diagnostic against `// want "regexp"` comments in the
+// fixture sources.
+//
+// Rules, mirroring x/tools analysistest:
+//   - a line with `// want "re1" "re2"` expects exactly the given number
+//     of diagnostics on that line, each matching one regexp (in order of
+//     reported message);
+//   - a diagnostic on a line without a matching want is an error;
+//   - a want with no matching diagnostic is an error.
+func RunFixture(t *testing.T, moduleDir string, analyzers []*Analyzer, patterns ...string) {
+	t.Helper()
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		t.Fatalf("fixture module dir: %v", err)
+	}
+	pkgs, err := Load(abs, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no fixture packages matched %v in %s", patterns, abs)
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		seen := make(map[string]bool)
+		for _, f := range pkg.Syntax {
+			name := pkg.Fset.Position(f.Package).Filename
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			fileWants, err := parseWants(name)
+			if err != nil {
+				t.Fatalf("parsing want comments: %v", err)
+			}
+			for k, v := range fileWants {
+				wants[k] = v
+			}
+		}
+	}
+
+	got := make(map[key][]Diagnostic)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+
+	for k, ds := range got {
+		ws := wants[k]
+		if len(ds) != len(ws) {
+			for _, d := range ds {
+				t.Errorf("%s: unexpected or miscounted diagnostic (%d want(s) on line): %s",
+					d.Pos, len(ws), d.Message)
+			}
+			continue
+		}
+		for i, d := range ds {
+			if !ws[i].MatchString(d.Message) {
+				t.Errorf("%s: diagnostic %q does not match want /%s/", d.Pos, d.Message, ws[i])
+			}
+		}
+	}
+	for k, ws := range wants {
+		if len(got[k]) == 0 {
+			for _, w := range ws {
+				t.Errorf("%s:%d: expected diagnostic matching /%s/, got none", k.file, k.line, w)
+			}
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants scans one source file for want comments.
+func parseWants(filename string) (map[struct {
+	file string
+	line int
+}][]*regexp.Regexp, error) {
+	type key = struct {
+		file string
+		line int
+	}
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[key][]*regexp.Regexp)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var res []*regexp.Regexp
+		rest := m[1]
+		for {
+			rest = strings.TrimSpace(rest)
+			if !strings.HasPrefix(rest, `"`) {
+				break
+			}
+			end := strings.Index(rest[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("%s:%d: unterminated want pattern", filename, i+1)
+			}
+			pat := rest[1 : 1+end]
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", filename, i+1, pat, err)
+			}
+			res = append(res, re)
+			rest = rest[2+end:]
+		}
+		if len(res) == 0 {
+			return nil, fmt.Errorf("%s:%d: want comment without quoted patterns", filename, i+1)
+		}
+		out[key{filename, i + 1}] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,13 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/determinism"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{determinism.Analyzer}, "./determinism")
+}

@@ -1,0 +1,103 @@
+// Package errchecklite is a narrow dropped-error check for the I/O paths
+// where a silently discarded error corrupts either the replayed ledger or
+// the wire protocol: calls into predis/internal/wire,
+// predis/internal/rtnet, and predis/internal/ledger whose error result is
+// dropped on the floor.
+//
+// "Lite" scoping keeps it signal-only:
+//   - only bare expression statements (and go/defer statements) are
+//     flagged; an explicit `_ = conn.Close()` documents intent and passes;
+//   - only callees defined in the three audited packages count, so
+//     fmt.Println and friends stay out of scope;
+//   - _test.go files are exempt.
+package errchecklite
+
+import (
+	"go/ast"
+	"go/types"
+
+	"predis/tools/analyzers/analysis"
+)
+
+// AuditedPackages are the import paths whose error results must not be
+// dropped.
+var AuditedPackages = map[string]bool{
+	"predis/internal/wire":   true,
+	"predis/internal/rtnet":  true,
+	"predis/internal/ledger": true,
+}
+
+// Analyzer is the dropped-error check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errchecklite",
+	Doc: "forbid dropping errors returned by wire, rtnet, and ledger I/O " +
+		"(assign to _ explicitly when discarding is intended)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Syntax {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDropped(pass, call)
+				}
+			case *ast.GoStmt:
+				checkDropped(pass, n.Call)
+			case *ast.DeferStmt:
+				checkDropped(pass, n.Call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call.Fun)
+	if fn == nil || fn.Pkg() == nil || !AuditedPackages[fn.Pkg().Path()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return
+	}
+	last := res.At(res.Len() - 1).Type()
+	if !isErrorType(last) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error returned by %s.%s is dropped; handle it or assign it to _ "+
+			"explicitly", fn.Pkg().Name(), fn.Name())
+}
+
+func calleeFunc(pass *analysis.Pass, fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.ParenExpr:
+		return calleeFunc(pass, fun.X)
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

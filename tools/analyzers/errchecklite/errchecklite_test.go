@@ -1,0 +1,13 @@
+package errchecklite_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/errchecklite"
+)
+
+func TestErrcheckliteFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{errchecklite.Analyzer}, "./errchecklite")
+}

@@ -1,0 +1,109 @@
+// Package lockorder enforces the no-locks half of the env contract: the
+// runtime serializes every callback into a handler, so sim-visible
+// protocol code has no business acquiring mutexes. A lock acquired inside
+// a simnet event callback either does nothing (uncontended, single
+// goroutine) or couples the handler to a goroutine the simulator does not
+// schedule — and blocking an event callback on such a lock stalls the
+// event loop and reorders event delivery relative to a lock-free run.
+//
+// The analyzer flags, in sim-visible packages:
+//   - calls that acquire a sync mutex (Lock, RLock, TryLock, TryRLock),
+//     including through embedded fields;
+//   - struct fields of type sync.Mutex or sync.RWMutex (state that
+//     invites such calls).
+//
+// Scope: everything except import-path segments {rtnet, simnet, env,
+// cmd, wire, ledger}. rtnet/simnet/env are the runtimes; wire's registry
+// mutex and ledger's store mutex are shared with the real-time runtime by
+// design and never contended inside the simulator (registration and
+// recovery happen at setup). sync.Once for message registration remains
+// allowed everywhere.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"predis/tools/analyzers/analysis"
+)
+
+// Analyzer is the lock-acquisition check.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc: "forbid mutex acquisition (and mutex-typed state) in sim-visible " +
+		"packages; handler callbacks are already serialized by the runtime",
+	Run: run,
+}
+
+var exemptSegments = []string{"rtnet", "simnet", "env", "cmd", "wire", "ledger"}
+
+var acquireMethods = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathHasSegment(pass.PkgPath, exemptSegments...) {
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAcquire(pass, n)
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAcquire flags calls to sync mutex acquisition methods, resolving
+// through embedded fields via the selection machinery.
+func checkAcquire(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !acquireMethods[sel.Sel.Name] {
+		return
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"sync mutex %s in sim-visible code: callbacks are serialized by the "+
+			"runtime; a lock here can only stall the event loop and reorder "+
+			"event delivery", sel.Sel.Name)
+}
+
+// checkFields flags sync.Mutex / sync.RWMutex struct fields.
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		t := tv.Type
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+			continue
+		}
+		if obj.Name() != "Mutex" && obj.Name() != "RWMutex" {
+			continue
+		}
+		pass.Reportf(field.Pos(),
+			"sync.%s field in sim-visible handler state: the runtime already "+
+				"serializes callbacks; move shared-with-goroutine state behind a "+
+				"runtime boundary (rtnet) instead", obj.Name())
+	}
+}

@@ -1,0 +1,13 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/lockorder"
+)
+
+func TestLockorderFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{lockorder.Analyzer}, "./lockorder")
+}

@@ -1,0 +1,35 @@
+// Package suite lists every predis-lint analyzer in one place so the
+// command, the Makefile target, and the fixture tests agree on the set.
+package suite
+
+import (
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/determinism"
+	"predis/tools/analyzers/errchecklite"
+	"predis/tools/analyzers/lockorder"
+	"predis/tools/analyzers/wiresym"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		determinism.Analyzer,
+		errchecklite.Analyzer,
+		lockorder.Analyzer,
+		wiresym.Analyzer,
+	}
+}
+
+// ByName returns the named analyzers (comma-free names, as listed by
+// All); unknown names yield nil entries filtered out by the caller.
+func ByName(names []string) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

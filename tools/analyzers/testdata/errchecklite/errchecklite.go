@@ -1,0 +1,29 @@
+// Package errchecklite is the fixture for the errchecklite analyzer.
+package errchecklite
+
+import (
+	"fmt"
+
+	"predis/internal/ledger"
+	"predis/internal/wire"
+)
+
+func dropped(m wire.Message, lg *ledger.Ledger, e ledger.Entry) {
+	wire.Roundtrip(m)   // want "error returned by wire.Roundtrip is dropped"
+	wire.Unmarshal(nil) // want "error returned by wire.Unmarshal is dropped"
+	lg.Append(e)        // want "error returned by ledger.Append is dropped"
+	defer lg.Append(e)  // want "error returned by ledger.Append is dropped"
+}
+
+func handled(m wire.Message, lg *ledger.Ledger, e ledger.Entry) error {
+	// Allowed: the error is consumed or explicitly discarded.
+	if _, err := wire.Roundtrip(m); err != nil {
+		return err
+	}
+	if err := lg.Append(e); err != nil {
+		return err
+	}
+	_ = wire.Marshal(m) // Marshal returns no error: out of scope
+	fmt.Println("done") // error-returning, but not an audited package
+	return nil
+}

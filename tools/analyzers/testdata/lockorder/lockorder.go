@@ -1,0 +1,35 @@
+// Package lockorder is the fixture for the lockorder analyzer.
+package lockorder
+
+import "sync"
+
+type handler struct {
+	mu   sync.Mutex   // want "sync.Mutex field in sim-visible handler state"
+	rw   sync.RWMutex // want "sync.RWMutex field in sim-visible handler state"
+	once sync.Once    // allowed: registration guard
+	n    int
+}
+
+type embedded struct {
+	sync.Mutex // want "sync.Mutex field in sim-visible handler state"
+}
+
+func (h *handler) receive() {
+	h.mu.Lock() // want "sync mutex Lock in sim-visible code"
+	h.n++
+	h.mu.Unlock()
+	h.rw.RLock() // want "sync mutex RLock in sim-visible code"
+	h.rw.RUnlock()
+	h.once.Do(func() {}) // allowed
+}
+
+func (e *embedded) receive() {
+	e.Lock() // want "sync mutex Lock in sim-visible code"
+	e.Unlock()
+}
+
+func localLock() {
+	var mu sync.Mutex
+	mu.Lock() // want "sync mutex Lock in sim-visible code"
+	defer mu.Unlock()
+}

@@ -1,0 +1,63 @@
+// Package wiresym is the fixture for the wiresym analyzer: Ping is fully
+// covered, Pong lacks test coverage, Orphan is never registered, and one
+// registration has an unresolvable decoder.
+package wiresym
+
+import "predis/internal/wire"
+
+// Fixture type tags (never actually registered at runtime).
+const (
+	typePing wire.Type = wire.TypeRangeTest + 101
+	typePong wire.Type = wire.TypeRangeTest + 102
+	typeOpaq wire.Type = wire.TypeRangeTest + 103
+)
+
+// Ping is registered and round-tripped in tests: fully symmetric.
+type Ping struct{ N uint64 }
+
+var _ wire.Message = (*Ping)(nil)
+
+func (m *Ping) Type() wire.Type            { return typePing }
+func (m *Ping) WireSize() int              { return wire.FrameOverhead + 8 }
+func (m *Ping) EncodeBody(e *wire.Encoder) { e.U64(m.N) }
+
+func decodePing(d *wire.Decoder) (wire.Message, error) {
+	return &Ping{N: d.U64()}, d.Err()
+}
+
+// Pong is registered but no test constructs it.
+type Pong struct{ N uint64 }
+
+var _ wire.Message = (*Pong)(nil)
+
+func (m *Pong) Type() wire.Type            { return typePong }
+func (m *Pong) WireSize() int              { return wire.FrameOverhead + 8 }
+func (m *Pong) EncodeBody(e *wire.Encoder) { e.U64(m.N) }
+
+func decodePong(d *wire.Decoder) (wire.Message, error) {
+	m := &Pong{N: d.U64()}
+	return m, d.Err()
+}
+
+// Orphan implements wire.Message but is never registered; it could be
+// sent yet never decoded.
+type Orphan struct{} // want "Orphan implements wire.Message but is never passed to wire.Register"
+
+var _ wire.Message = (*Orphan)(nil)
+
+func (m *Orphan) Type() wire.Type            { return typePong + 50 }
+func (m *Orphan) WireSize() int              { return wire.FrameOverhead }
+func (m *Orphan) EncodeBody(e *wire.Encoder) {}
+
+// decodeOpaque hides the concrete message type from the analyzer.
+func decodeOpaque(d *wire.Decoder) (wire.Message, error) {
+	var m wire.Message
+	return m, d.Err()
+}
+
+// RegisterFixtureMessages registers the fixture types (never called).
+func RegisterFixtureMessages() {
+	wire.Register(typePing, "fixture.ping", decodePing)
+	wire.Register(typePong, "fixture.pong", decodePong)     // want "registered message Pong is never constructed in this package's tests"
+	wire.Register(typeOpaq, "fixture.opaque", decodeOpaque) // want "cannot determine which message type this registration decodes"
+}

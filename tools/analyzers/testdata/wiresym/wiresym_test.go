@@ -1,0 +1,15 @@
+package wiresym
+
+import (
+	"testing"
+
+	"predis/internal/wire"
+)
+
+// TestPingRoundtrip covers Ping (and only Ping): Pong must be flagged.
+func TestPingRoundtrip(t *testing.T) {
+	m := &Ping{N: 7}
+	if _, err := wire.Roundtrip(m); err != nil {
+		t.Fatal(err)
+	}
+}

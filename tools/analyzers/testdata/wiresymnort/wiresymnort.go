@@ -1,0 +1,26 @@
+// Package wiresymnort exercises the "package never calls wire.Roundtrip"
+// arm of the wiresym analyzer: it registers a message but has no
+// round-trip test at all.
+package wiresymnort
+
+import "predis/internal/wire"
+
+const typeBare wire.Type = wire.TypeRangeTest + 120
+
+// Bare is registered but the package has no round-trip test.
+type Bare struct{}
+
+var _ wire.Message = (*Bare)(nil)
+
+func (m *Bare) Type() wire.Type            { return typeBare }
+func (m *Bare) WireSize() int              { return wire.FrameOverhead }
+func (m *Bare) EncodeBody(e *wire.Encoder) {}
+
+func decodeBare(d *wire.Decoder) (wire.Message, error) {
+	return &Bare{}, d.Err()
+}
+
+// RegisterFixtureMessages registers the fixture type (never called).
+func RegisterFixtureMessages() {
+	wire.Register(typeBare, "fixture.bare", decodeBare) // want "registered message Bare has no round-trip coverage"
+}

@@ -1,0 +1,262 @@
+// Package wiresym enforces wire-format symmetry: every message type a
+// package registers with wire.Register must be a real wire.Message whose
+// decoder is identifiable, every wire.Message the package defines must be
+// registered, and every registered message must be exercised by the
+// package's round-trip tests (constructed in a _test.go file of a package
+// that calls wire.Roundtrip).
+//
+// The simulator's CopyOnDeliver mode and the TCP runtime both funnel all
+// traffic through Marshal/Unmarshal, so an asymmetric codec is a live
+// correctness bug: a message that encodes what its decoder does not read
+// diverges silently between simulated and real deployments.
+package wiresym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"predis/tools/analyzers/analysis"
+)
+
+// WirePath is the import path of the wire package whose registry the
+// analyzer audits.
+const WirePath = "predis/internal/wire"
+
+// Analyzer is the wire-symmetry check.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiresym",
+	Doc: "every registered wire message must implement wire.Message, be " +
+		"decodable, and be covered by an in-package round-trip test",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath == WirePath {
+		return nil // the registry itself has nothing to register
+	}
+	wirePkg := pass.Lookup(WirePath)
+	if wirePkg == nil {
+		return nil // package does not participate in the wire protocol
+	}
+	ifaceObj := wirePkg.Scope().Lookup("Message")
+	if ifaceObj == nil {
+		return nil
+	}
+	msgIface, ok := ifaceObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+
+	// Pass 1 (non-test files): find wire.Register calls and resolve each
+	// to the concrete message type its decoder returns.
+	registered := make(map[*types.TypeName]ast.Node) // type -> Register call
+	for _, f := range pass.Syntax {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 3 {
+				return true
+			}
+			if !isWireFunc(pass, call.Fun, "Register") {
+				return true
+			}
+			tn := decoderMessageType(pass, call.Args[2], msgIface)
+			if tn == nil {
+				pass.Reportf(call.Pos(),
+					"cannot determine which message type this registration decodes; "+
+						"the decoder must return a named *T implementing wire.Message")
+				return true
+			}
+			registered[tn] = call
+			return true
+		})
+	}
+
+	// Pass 2: every package-level named type (declared outside tests)
+	// implementing wire.Message must be registered.
+	scope := pass.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		if isTestPos(pass, tn.Pos()) {
+			continue // test-only fixtures register conditionally; skip
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if !types.Implements(types.NewPointer(named), msgIface) {
+			continue
+		}
+		if _, ok := registered[tn]; !ok {
+			pass.Reportf(tn.Pos(),
+				"%s implements wire.Message but is never passed to wire.Register; "+
+					"an unregistered message cannot be decoded on delivery", name)
+		}
+	}
+
+	if len(registered) == 0 {
+		return nil
+	}
+
+	// Pass 3 (test files): round-trip coverage. Collect the message types
+	// constructed in tests and whether wire.Roundtrip is called at all.
+	constructed := make(map[*types.TypeName]bool)
+	roundtrips := false
+	for _, f := range pass.Syntax {
+		if !pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isWireFunc(pass, n.Fun, "Roundtrip") {
+					roundtrips = true
+					// A concrete *T passed to Roundtrip counts as
+					// coverage even when T is built by a helper rather
+					// than a composite literal.
+					if len(n.Args) == 1 {
+						if tv, ok := pass.Info.Types[n.Args[0]]; ok {
+							if tn := namedTypeName(tv.Type); tn != nil {
+								constructed[tn] = true
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.Info.Types[n]; ok {
+					if tn := namedTypeName(tv.Type); tn != nil {
+						constructed[tn] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for tn, call := range registered {
+		if !roundtrips {
+			pass.Reportf(call.Pos(),
+				"registered message %s has no round-trip coverage: no test in this "+
+					"package calls wire.Roundtrip", tn.Name())
+			continue
+		}
+		if !constructed[tn] {
+			pass.Reportf(call.Pos(),
+				"registered message %s is never constructed in this package's tests; "+
+					"add it to the round-trip test table", tn.Name())
+		}
+	}
+	return nil
+}
+
+// isWireFunc reports whether fun resolves to predis/internal/wire.<name>.
+func isWireFunc(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == WirePath
+}
+
+// decoderMessageType resolves the decode-function argument of a
+// wire.Register call to the named message type it returns: every
+// `return &T{...}, ...` (or `return v, ...` with v of type *T) in the
+// decoder's body nominates T; the first T implementing wire.Message in
+// this package wins.
+func decoderMessageType(pass *analysis.Pass, arg ast.Expr, msgIface *types.Interface) *types.TypeName {
+	var fn *types.Func
+	switch a := arg.(type) {
+	case *ast.Ident:
+		fn, _ = pass.Info.Uses[a].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Info.Uses[a.Sel].(*types.Func)
+	case *ast.FuncLit:
+		return funcLitMessageType(pass, a, msgIface)
+	}
+	if fn == nil {
+		return nil
+	}
+	// Find the decoder's declaration in this package's syntax.
+	for _, f := range pass.Syntax {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn.Name() || fd.Recv != nil {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] != fn {
+				continue
+			}
+			return returnedMessageType(pass, fd.Body, msgIface)
+		}
+	}
+	return nil
+}
+
+func funcLitMessageType(pass *analysis.Pass, lit *ast.FuncLit, msgIface *types.Interface) *types.TypeName {
+	return returnedMessageType(pass, lit.Body, msgIface)
+}
+
+func returnedMessageType(pass *analysis.Pass, body *ast.BlockStmt, msgIface *types.Interface) *types.TypeName {
+	if body == nil {
+		return nil
+	}
+	var found *types.TypeName
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		tv, ok := pass.Info.Types[ret.Results[0]]
+		if !ok {
+			return true
+		}
+		tn := namedTypeName(tv.Type)
+		if tn == nil || tn.Pkg() != pass.Types {
+			return true
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || !types.Implements(types.NewPointer(named), msgIface) {
+			return true
+		}
+		found = tn
+		return false
+	})
+	return found
+}
+
+// namedTypeName unwraps pointers and returns the *types.TypeName of a
+// named type, or nil.
+func namedTypeName(t types.Type) *types.TypeName {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+// isTestPos reports whether a position lies in a _test.go file.
+func isTestPos(pass *analysis.Pass, pos token.Pos) bool {
+	name := pass.Fset.Position(pos).Filename
+	return len(name) >= len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

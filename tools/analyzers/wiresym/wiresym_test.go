@@ -1,0 +1,13 @@
+package wiresym_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/wiresym"
+)
+
+func TestWiresymFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{wiresym.Analyzer}, "./wiresym", "./wiresymnort")
+}
