@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint test race fmt bench ci
+.PHONY: all build vet lint test race fmt bench trace-smoke ci
 
 all: ci
 
@@ -31,4 +31,14 @@ fmt:
 bench:
 	go test -bench=. -benchmem
 
-ci: fmt build vet lint race
+# trace-smoke: run the quickstart experiment with -trace and validate the
+# emitted Chrome trace JSON parses and records at least one span for every
+# pipeline stage (submit, bundle_sealed, block_proposed, prepare_commit,
+# stripe_distributed, fullnode_delivered).
+trace-smoke:
+	@mkdir -p bin
+	go run ./cmd/predis-bench -quick quickstart -trace -trace-out bin/trace-smoke.json -metrics-out bin/trace-smoke >/dev/null
+	go run ./tools/tracecheck bin/trace-smoke.json
+	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
+
+ci: fmt build vet lint race trace-smoke

@@ -3,10 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"predis/internal/consensus"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/obs"
 	"predis/internal/types"
 	"predis/internal/wire"
 )
@@ -65,6 +67,14 @@ type Options struct {
 	// Retry is the backoff policy for missing-bundle fetches and catch-up
 	// rounds. The zero value selects env.DefaultBackoff(2×BundleInterval).
 	Retry env.Backoff
+	// Trace, when non-nil, records the bundle_sealed lifecycle stage
+	// (first queued transaction → bundle packed and signed). Nil disables
+	// tracing at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives per-node counters (bundle_produced,
+	// bundle_accepted, txs_committed) and the bundle_seal_ms histogram.
+	// Metric pointers are resolved once at construction; nil disables.
+	Metrics *obs.Registry
 }
 
 // CommitInfo describes one committed Predis block.
@@ -86,7 +96,10 @@ type Predis struct {
 	ctx  env.Context
 	mp   *Mempool
 
-	queue          []*types.Transaction
+	queue []*types.Transaction
+	// queueTimes parallels queue with each transaction's enqueue time, so
+	// the bundle_sealed span can start at the first queued transaction.
+	queueTimes     []time.Time
 	produceTimer   env.Timer
 	lastAdvertised TipList
 
@@ -109,6 +122,12 @@ type Predis struct {
 	bundlesProduced uint64
 	bundlesAccepted uint64
 	txsCommitted    uint64
+
+	// obs metrics (nil-safe recorders; resolved once at construction)
+	mBundleProduced *obs.Counter
+	mBundleAccepted *obs.Counter
+	mTxsCommitted   *obs.Counter
+	mSealLatency    *obs.Histogram
 }
 
 type fetchState struct {
@@ -148,10 +167,14 @@ func NewPredis(opts Options) (*Predis, error) {
 		mp.SetOnLink(opts.OnBundleStored)
 	}
 	return &Predis{
-		opts:    opts,
-		mp:      mp,
-		fetches: make(map[wire.NodeID]*fetchState),
-		retry:   opts.Retry,
+		opts:            opts,
+		mp:              mp,
+		fetches:         make(map[wire.NodeID]*fetchState),
+		retry:           opts.Retry,
+		mBundleProduced: opts.Metrics.Counter("bundle_produced", opts.Self),
+		mBundleAccepted: opts.Metrics.Counter("bundle_accepted", opts.Self),
+		mTxsCommitted:   opts.Metrics.Counter("txs_committed", opts.Self),
+		mSealLatency:    opts.Metrics.Histogram("bundle_seal_ms", opts.Self, obs.DefaultLatencyBucketsMS),
 	}, nil
 }
 
@@ -198,6 +221,7 @@ func (p *Predis) SubmitTx(tx *types.Transaction) {
 		return
 	}
 	p.queue = append(p.queue, tx)
+	p.queueTimes = append(p.queueTimes, p.ctx.Now())
 	for len(p.queue) >= p.mp.params.BundleSize {
 		p.produceBundle()
 	}
@@ -234,6 +258,11 @@ func (p *Predis) produceBundle() {
 	}
 	txs := p.queue[:n:n]
 	p.queue = p.queue[n:]
+	var firstQueued time.Time
+	if n > 0 {
+		firstQueued = p.queueTimes[0]
+		p.queueTimes = p.queueTimes[n:]
+	}
 
 	tips := p.mp.Tips()
 	parent := p.mp.TipHeader(p.opts.Self)
@@ -249,6 +278,15 @@ func (p *Predis) produceBundle() {
 		return
 	}
 	p.bundlesProduced++
+	p.mBundleProduced.Inc()
+	if n > 0 {
+		// bundle_sealed: first queued transaction → bundle packed and
+		// signed. Heartbeat bundles carry no payload and record nothing.
+		now := p.ctx.Now()
+		p.opts.Trace.Span(obs.StageBundleSealed,
+			obs.BundleKey(p.opts.Self, b.Header.Height), p.opts.Self, firstQueued, now)
+		p.mSealLatency.ObserveDuration(now.Sub(firstQueued))
+	}
 	p.lastAdvertised = b.Header.Tips.Clone()
 	p.disseminate(b)
 	p.poke()
@@ -330,6 +368,7 @@ func (p *Predis) onBundle(from wire.NodeID, b *Bundle) {
 		return
 	case res == Added:
 		p.bundlesAccepted++
+		p.mBundleAccepted.Inc()
 		p.clearSatisfiedFetch(b.Header.Producer)
 		if p.catchup != nil {
 			// A catch-up block may have been waiting on this body.
@@ -560,6 +599,7 @@ func (p *Predis) commitBlock(height uint64, blk *PredisBlock) {
 	p.lastHeight = height
 	p.lastBlockHash = blk.Hash()
 	p.txsCommitted += uint64(len(txs))
+	p.mTxsCommitted.Add(uint64(len(txs)))
 	p.pushRecent(blk)
 	if p.opts.OnCommit != nil {
 		p.opts.OnCommit(CommitInfo{Height: height, Block: blk, Bundles: bundles, Txs: txs})

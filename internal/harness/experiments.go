@@ -14,6 +14,10 @@ type Options struct {
 	Quick bool
 	// Seed drives every simulation in the experiment.
 	Seed int64
+	// Obs, when non-nil, receives the observability artifacts (tracer,
+	// metrics registry, simnet sampler) from experiments that support
+	// them; see ObsSink.
+	Obs *ObsSink
 }
 
 func (o Options) seed() int64 {
@@ -33,6 +37,7 @@ type Experiment struct {
 // Registry lists every experiment, in figure order.
 func Registry() []Experiment {
 	return []Experiment{
+		{"quickstart", "Quickstart: P-HS + Multi-Zone pipeline with per-stage latency breakdown", Quickstart},
 		{"fig4a", "Fig. 4(a): PBFT vs P-PBFT, bundle/batch sizes (WAN, nc=4)", Fig4a},
 		{"fig4b", "Fig. 4(b): HotStuff vs P-HS, bundle/batch sizes (WAN, nc=4)", Fig4b},
 		{"fig4c", "Fig. 4(c): PBFT vs P-PBFT scalability (nc=4,8,16)", Fig4c},

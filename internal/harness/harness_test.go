@@ -75,8 +75,8 @@ func TestLoadSweepShape(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 10 {
-		t.Fatalf("registry has %d experiments, want 10", len(reg))
+	if len(reg) != 11 {
+		t.Fatalf("registry has %d experiments, want 11", len(reg))
 	}
 	seen := make(map[string]bool)
 	for _, e := range reg {
@@ -286,8 +286,9 @@ func TestRecoveryQuickShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 2 {
-		t.Fatalf("expected timeline + summary tables, got %d", len(tables))
+	// timeline + summary, plus one per-stage latency table per scenario.
+	if len(tables) != 4 {
+		t.Fatalf("expected timeline + summary + 2 stage tables, got %d", len(tables))
 	}
 	summary := tables[1]
 	row := func(name string, x float64) float64 {

@@ -9,6 +9,7 @@ import (
 	"predis/internal/faults"
 	"predis/internal/multizone"
 	"predis/internal/node"
+	"predis/internal/obs"
 	"predis/internal/simnet"
 	"predis/internal/stats"
 	"predis/internal/types"
@@ -39,6 +40,10 @@ type recoverySpec struct {
 	// trace, when non-nil, accumulates the replay hash of every delivery
 	// (see ReplayTrace).
 	trace *ReplayTrace
+	// obsTrace, when non-nil, records block/bundle lifecycle stages so the
+	// experiment can render a per-stage latency breakdown around the
+	// crash window.
+	obsTrace *obs.Tracer
 }
 
 // recoveryResult is one run's outcome.
@@ -106,6 +111,7 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 			ViewTimeout:    1 * time.Second,
 			Striper:        striper,
 			ReplyToClients: true,
+			Trace:          spec.obsTrace,
 			OnCommit: func(height uint64, txs int) {
 				if height > lastCommit[i] {
 					lastCommit[i] = height
@@ -148,6 +154,7 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 				BackupPeers:    backups,
 				AliveInterval:  200 * time.Millisecond,
 				DigestInterval: 1 * time.Second,
+				Trace:          spec.obsTrace,
 			}
 			if !spec.victimConsensus && z == 0 && k == 1 {
 				// Zone-side observer: a healthy peer of the crashed relayer.
@@ -195,6 +202,7 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 			Epoch:    simnet.Epoch,
 			GenStart: simnet.Epoch.Add(joinWindow),
 			GenStop:  simnet.Epoch.Add(spec.duration),
+			Trace:    spec.obsTrace,
 		}))
 	}
 
@@ -305,9 +313,11 @@ func Recovery(o Options) ([]*stats.Table, error) {
 		{"relayer-crash", false},
 		{"leader-crash", true},
 	}
+	stageTables := make([]*stats.Table, 0, len(scenarios))
 	for _, sc := range scenarios {
 		s := spec
 		s.victimConsensus = sc.consensus
+		s.obsTrace = obs.NewTracer(simnet.Epoch)
 		res, err := runRecovery(s)
 		if err != nil {
 			return nil, fmt.Errorf("recovery %s: %w", sc.name, err)
@@ -343,6 +353,16 @@ func Recovery(o Options) ([]*stats.Table, error) {
 		sum.Add(5, float64(res.victimHead))
 		sum.Add(6, float64(res.liveHead))
 		summary.Series = append(summary.Series, sum)
+
+		// Per-stage latency breakdown: dissemination stages absorb the
+		// outage (stripe_distributed/fullnode_delivered tails stretch while
+		// the victim is down) without moving the consensus-side stages.
+		st := s.obsTrace.StageTable()
+		st.Title = sc.name + " — " + st.Title
+		stageTables = append(stageTables, st)
+		if o.Obs != nil {
+			o.Obs.Trace = s.obsTrace
+		}
 	}
-	return []*stats.Table{timeline, summary}, nil
+	return append([]*stats.Table{timeline, summary}, stageTables...), nil
 }

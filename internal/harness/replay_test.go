@@ -2,6 +2,9 @@ package harness
 
 import (
 	"fmt"
+	"os"
+	"os/exec"
+	"strings"
 	"testing"
 	"time"
 )
@@ -40,6 +43,73 @@ func TestReplayQuickstartDeterministic(t *testing.T) {
 	}
 	if r1 != r2 {
 		t.Fatalf("same-seed results diverged:\n  %s\n  %s", r1, r2)
+	}
+}
+
+// replayHashOnce runs the canonical replay workload once and returns its
+// delivery-trace digest (shared by the in-process and cross-process
+// determinism tests).
+func replayHashOnce(t *testing.T) (string, uint64) {
+	t.Helper()
+	tr := NewReplayTrace()
+	if _, err := RunPoint(PointSpec{
+		System:   SysPHS,
+		NC:       4,
+		Offered:  1000,
+		Duration: 1500 * time.Millisecond,
+		Seed:     42,
+		Trace:    tr,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return tr.Sum(), tr.Deliveries()
+}
+
+// replayChildEnv marks a re-exec'd child process that should run the
+// replay workload once and print its digest instead of the full test.
+const replayChildEnv = "PREDIS_REPLAY_CHILD"
+
+// TestReplayCrossProcessDeterministic re-executes the test binary twice
+// — two separate OS processes, hence two different Go map-hash seeds and
+// scheduler histories — and asserts both produce the same delivery-trace
+// digest as an in-process run. This pins the strongest form of the
+// determinism contract: simulations are byte-identical across process
+// runs, not merely within one process.
+func TestReplayCrossProcessDeterministic(t *testing.T) {
+	if os.Getenv(replayChildEnv) == "1" {
+		h, n := replayHashOnce(t)
+		fmt.Printf("REPLAY %s %d\n", h, n)
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	child := func() string {
+		cmd := exec.Command(exe, "-test.run=^TestReplayCrossProcessDeterministic$", "-test.v")
+		cmd.Env = append(os.Environ(), replayChildEnv+"=1")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("child run failed: %v\n%s", err, out)
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "REPLAY "); ok {
+				return rest
+			}
+		}
+		t.Fatalf("child produced no REPLAY line:\n%s", out)
+		return ""
+	}
+	h0, n0 := replayHashOnce(t)
+	local := fmt.Sprintf("%s %d", h0, n0)
+	c1 := child()
+	c2 := child()
+	if n0 == 0 {
+		t.Fatal("replay trace recorded no deliveries")
+	}
+	if c1 != local || c2 != local {
+		t.Fatalf("cross-process runs diverged:\n  in-process: %s\n  child 1:    %s\n  child 2:    %s",
+			local, c1, c2)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"predis/internal/consensus"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/obs"
 	"predis/internal/wire"
 )
 
@@ -29,6 +30,10 @@ type Config struct {
 	// ReproposeInterval is how often an idle leader re-asks the app for a
 	// proposal. Default 10ms.
 	ReproposeInterval time.Duration
+	// Trace, when non-nil, records the block_proposed (proposal learned →
+	// QC formed) and prepare_commit (QC → execution) lifecycle stages on
+	// this replica's timeline. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c *Config) withDefaults() Config {
@@ -306,6 +311,9 @@ func (e *Engine) onProposal(from wire.NodeID, m *Proposal) {
 	ent := &blockEnt{block: b, hash: hash}
 	e.blocks[hash] = ent
 
+	// block_proposed: this replica learned an authenticated proposal for
+	// the height (first learn wins).
+	e.cfg.Trace.Begin(obs.StageBlockProposed, obs.BlockKey(b.Height), e.cfg.Self, e.ctx.Now())
 	e.processQC(b.Justify)
 	e.advanceView(b.View) // seeing a valid proposal for view v synchronizes us into it
 	e.tryVote(ent)
@@ -490,6 +498,12 @@ func (e *Engine) processQC(qc *QC) {
 	if !ok {
 		return
 	}
+	// The QC is HotStuff's prepare-quorum analogue: close block_proposed
+	// for the certified height, open prepare_commit (QC → execution).
+	// End/Begin are idempotent, so re-derived QCs never distort spans.
+	now := e.ctx.Now()
+	e.cfg.Trace.End(obs.StageBlockProposed, obs.BlockKey(b2.block.Height), e.cfg.Self, now)
+	e.cfg.Trace.Begin(obs.StagePrepareCommit, obs.BlockKey(b2.block.Height), e.cfg.Self, now)
 	b1, ok := e.blocks[b2.block.Parent]
 	if !ok || b1.block.Height == b2.block.Height {
 		return
@@ -562,6 +576,7 @@ func (e *Engine) tryExecute() {
 		e.execHeight = ent.block.Height
 		e.committed++
 		e.resetPacemaker()
+		e.cfg.Trace.End(obs.StagePrepareCommit, obs.BlockKey(ent.block.Height), e.cfg.Self, e.ctx.Now())
 		e.cfg.App.OnCommit(ent.block.Height, ent.block.Payload)
 		e.pruneBelow(ent.block.Height)
 		if e.hasPendingWork() || len(e.commitQueue) > 0 {

@@ -7,6 +7,7 @@ import (
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/obs"
 	"predis/internal/types"
 	"predis/internal/wire"
 )
@@ -30,6 +31,11 @@ type Distributor struct {
 	// ttl expires subscribers that stopped heartbeating (0 disables); a
 	// crashed relayer would otherwise receive stripes forever.
 	ttl time.Duration
+
+	// trace, when non-nil, anchors the stripe_distributed and
+	// fullnode_delivered lifecycle stages at fan-out time (full nodes close
+	// the spans on arrival/completion). Nil disables tracing at zero cost.
+	trace *obs.Tracer
 
 	// cache avoids encoding the same bundle twice (StripeRoot hook +
 	// dissemination).
@@ -60,6 +66,9 @@ func NewDistributor(self wire.NodeID, nc int, striper *Striper, maxSubs int) *Di
 // ttl (heartbeats count) is dropped before the next stripe/block fan-out.
 // Zero disables expiry.
 func (d *Distributor) SetSubscriberTTL(ttl time.Duration) { d.ttl = ttl }
+
+// SetTrace arms lifecycle tracing (nil disables it).
+func (d *Distributor) SetTrace(tr *obs.Tracer) { d.trace = tr }
 
 // Start records the runtime context (call from the host's Start).
 func (d *Distributor) Start(ctx env.Context) { d.ctx = ctx }
@@ -103,6 +112,11 @@ func (d *Distributor) OnBundleStored(b *core.Bundle) {
 		d.ctx.Logf("multizone: stripe extract: %v", err)
 		return
 	}
+	// Anchor the stripe_distributed stage at first fan-out (earliest mark
+	// wins across consensus nodes); full nodes close the span when the
+	// bundle enters their store.
+	d.trace.Mark(obs.StageStripeDistributed,
+		obs.BundleKey(b.Header.Producer, b.Header.Height), d.ctx.Now())
 	for _, id := range d.liveSubscribers() {
 		d.ctx.Send(id, msg)
 		d.stripesOut++
@@ -115,6 +129,10 @@ func (d *Distributor) OnBlockCommit(blk *core.PredisBlock) {
 		return
 	}
 	msg := &ZoneBlock{Block: blk}
+	// Anchor the fullnode_delivered stage at block push time; full nodes
+	// close the span when they assemble the block's transactions.
+	d.trace.Mark(obs.StageFullNodeDelivered,
+		obs.BlockKey(blk.Height), d.ctx.Now())
 	for _, id := range d.liveSubscribers() {
 		d.ctx.Send(id, msg)
 		d.blocksOut++

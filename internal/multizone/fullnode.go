@@ -8,6 +8,7 @@ import (
 	"predis/internal/crypto"
 	"predis/internal/env"
 	"predis/internal/ledger"
+	"predis/internal/obs"
 	"predis/internal/wire"
 )
 
@@ -62,6 +63,11 @@ type FullNodeConfig struct {
 	// CatchupWindow bounds the ring of completed blocks retained to serve
 	// BlockRequests from restarting peers (default 512, <0 disables).
 	CatchupWindow int
+	// Trace, when non-nil, closes the stripe_distributed and
+	// fullnode_delivered lifecycle spans (anchored by the consensus-side
+	// distributor) when bundles assemble and blocks complete here. Nil
+	// disables tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 func (c *FullNodeConfig) withDefaults() FullNodeConfig {

@@ -6,6 +6,7 @@ import (
 
 	"predis/internal/core"
 	"predis/internal/ledger"
+	"predis/internal/obs"
 	"predis/internal/wire"
 )
 
@@ -99,6 +100,10 @@ func (f *FullNode) storeBundle(b *core.Bundle, verify bool) {
 		f.schedulePull(miss.Producer, miss.From, miss.To)
 	case res == core.Added:
 		f.bundles++
+		// stripe_distributed: distributor anchor → bundle assembled at this
+		// full node (first completion wins per node).
+		f.cfg.Trace.SpanSinceMark(obs.StageStripeDistributed,
+			obs.BundleKey(b.Header.Producer, b.Header.Height), f.cfg.Self, f.ctx.Now())
 		if f.cfg.OnBundle != nil {
 			f.cfg.OnBundle(b)
 		}
@@ -203,6 +208,10 @@ func (f *FullNode) tryCompleteBlocksFrom(sender wire.NodeID) {
 						f.ctx.Logf("multizone: ledger append: %v", lerr)
 					}
 				}
+				// fullnode_delivered: distributor anchor → block fully
+				// reconstructed (Predis block + every referenced bundle).
+				f.cfg.Trace.SpanSinceMark(obs.StageFullNodeDelivered,
+					obs.BlockKey(blk.Height), f.cfg.Self, f.ctx.Now())
 				if f.cfg.OnBlockComplete != nil {
 					f.cfg.OnBlockComplete(blk, len(txs))
 				}

@@ -7,6 +7,7 @@ import (
 	"predis/internal/crypto"
 	"predis/internal/env"
 	"predis/internal/node"
+	"predis/internal/obs"
 	"predis/internal/types"
 	"predis/internal/wire"
 )
@@ -44,6 +45,12 @@ type HostConfig struct {
 	// heartbeating (0 disables; 3× the full nodes' HeartbeatInterval is a
 	// sensible value).
 	SubscriberTTL time.Duration
+	// Trace, when non-nil, records block/bundle lifecycle stages across
+	// the node and the distributor. Nil disables tracing at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives per-node counters from the wrapped
+	// Predis component.
+	Metrics *obs.Registry
 }
 
 // NewConsensusHost builds the host. Multi-Zone always runs Predis (the
@@ -51,6 +58,7 @@ type HostConfig struct {
 func NewConsensusHost(cfg HostConfig) (*ConsensusHost, error) {
 	dist := NewDistributor(cfg.Self, cfg.NC, cfg.Striper, cfg.MaxSubscribers)
 	dist.SetSubscriberTTL(cfg.SubscriberTTL)
+	dist.SetTrace(cfg.Trace)
 	n, err := node.New(node.Config{
 		Mode:           node.ModePredis,
 		Engine:         cfg.Engine,
@@ -65,6 +73,8 @@ func NewConsensusHost(cfg HostConfig) (*ConsensusHost, error) {
 		StripeRoot:     dist.StripeRoot,
 		OnBundleStored: dist.OnBundleStored,
 		OnBlockCommit:  dist.OnBlockCommit,
+		Trace:          cfg.Trace,
+		Metrics:        cfg.Metrics,
 		OnCommit: func(height uint64, txs []*types.Transaction) {
 			if cfg.OnCommit != nil {
 				cfg.OnCommit(height, len(txs))

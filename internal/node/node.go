@@ -15,6 +15,7 @@ import (
 	"predis/internal/env"
 	"predis/internal/hotstuff"
 	"predis/internal/microblock"
+	"predis/internal/obs"
 	"predis/internal/pbft"
 	"predis/internal/txpool"
 	"predis/internal/types"
@@ -104,6 +105,13 @@ type Config struct {
 	OnBlockCommit func(blk *core.PredisBlock)
 	// KeepConfirmed bounds retained confirmed bundles per chain.
 	KeepConfirmed int
+	// Trace, when non-nil, records lifecycle stages (submit arrival here;
+	// bundle/consensus stages in the wrapped components). Nil disables
+	// tracing at zero cost.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives per-node counters from the wrapped
+	// components (Predis mode).
+	Metrics *obs.Registry
 }
 
 // Node is a consensus node handler.
@@ -163,6 +171,8 @@ func New(cfg Config) (*Node, error) {
 			Disseminate:    cfg.Disseminate,
 			StripeRoot:     cfg.StripeRoot,
 			OnBundleStored: cfg.OnBundleStored,
+			Trace:          cfg.Trace,
+			Metrics:        cfg.Metrics,
 			OnCommit: func(ci core.CommitInfo) {
 				if cfg.OnBlockCommit != nil {
 					cfg.OnBlockCommit(ci.Block)
@@ -208,11 +218,13 @@ func New(cfg Config) (*Node, error) {
 		engine, err = pbft.New(pbft.Config{
 			N: cfg.NC, Self: cfg.Self, App: app, Signer: cfg.Signer,
 			ViewTimeout: cfg.ViewTimeout, ReproposeInterval: cfg.ReproposeInterval,
+			Trace: cfg.Trace,
 		})
 	case EngineHotStuff:
 		engine, err = hotstuff.New(hotstuff.Config{
 			N: cfg.NC, Self: cfg.Self, App: app, Signer: cfg.Signer,
 			ViewTimeout: cfg.ViewTimeout, ReproposeInterval: cfg.ReproposeInterval,
+			Trace: cfg.Trace,
 		})
 	default:
 		err = fmt.Errorf("node: unknown engine %d", cfg.Engine)
@@ -281,6 +293,10 @@ func (n *Node) Receive(from wire.NodeID, m wire.Message) {
 		n.engine.Receive(from, m)
 	case wire.TypeRangeClient:
 		if sub, ok := m.(*types.SubmitTx); ok {
+			// submit: client anchor → transaction arrives at a consensus
+			// node (first arrival wins; resubmissions are idempotent).
+			n.cfg.Trace.SpanSinceMark(obs.StageSubmit,
+				obs.TxKey(sub.Tx.Client, sub.Tx.Seq), n.cfg.Self, n.ctx.Now())
 			n.Submit(sub.Tx)
 		}
 	default:

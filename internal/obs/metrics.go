@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"predis/internal/wire"
+)
+
+// Counter is a monotonically increasing count. All methods are nil-safe so
+// components can hold an optional counter without guarding every hot-path
+// increment.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a point-in-time value.
+type Gauge struct{ v float64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram is a fixed-bucket histogram: bounds are upper-inclusive bucket
+// edges; observations above the last bound land in the implicit +Inf
+// bucket. Buckets are allocated once at registration; Observe is a single
+// scan of a small slice (allocation-free).
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is +Inf
+	count  uint64
+	sum    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// ObserveDuration records a duration in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(durMS(d)) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Buckets returns (bounds, cumulative-free per-bucket counts); the counts
+// slice has one extra element for the +Inf bucket. Callers must not mutate
+// the returned slices.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	return h.bounds, h.counts
+}
+
+// DefaultLatencyBucketsMS is a sensible fixed-bucket layout for stage and
+// message latencies in milliseconds.
+var DefaultLatencyBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// metricKey scopes a metric to one node. wire.NoNode scopes a metric to
+// the whole simulation.
+type metricKey struct {
+	name string
+	node wire.NodeID
+}
+
+// Registry is a per-simulation registry of per-node metrics. Lookup
+// happens once at wiring time (Counter/Gauge/Histogram return stable
+// pointers); the hot path is a plain field update. Not safe for
+// concurrent use — the simulator serializes all callbacks.
+type Registry struct {
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]*Gauge
+	hists    map[metricKey]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]*Gauge),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// Counter returns the named counter for a node, creating it on first use.
+// Nil registries return nil (recording becomes a no-op).
+func (r *Registry) Counter(name string, node wire.NodeID) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, node}
+	c, ok := r.counters[k]
+	if !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge for a node, creating it on first use.
+func (r *Registry) Gauge(name string, node wire.NodeID) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, node}
+	g, ok := r.gauges[k]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram for a node, creating it with the
+// given bucket bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, node wire.NodeID, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := metricKey{name, node}
+	h, ok := r.hists[k]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// metricRow is one exported line.
+type metricRow struct {
+	name  string
+	node  wire.NodeID
+	field string
+	value string
+}
+
+// rows flattens every metric into sorted rows: counters and gauges emit a
+// single "value" field; histograms emit count, sum, and one "le:<bound>"
+// field per bucket. Sorting by (name, node, field-order) makes the dump
+// independent of map iteration and therefore byte-stable across runs.
+func (r *Registry) rows() []metricRow {
+	if r == nil {
+		return nil
+	}
+	out := make([]metricRow, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	keys := make([]metricKey, 0, len(r.counters))
+	for k := range r.counters {
+		keys = append(keys, k)
+	}
+	sortMetricKeys(keys)
+	for _, k := range keys {
+		out = append(out, metricRow{k.name, k.node, "value",
+			strconv.FormatUint(r.counters[k].Value(), 10)})
+	}
+	keys = keys[:0]
+	for k := range r.gauges {
+		keys = append(keys, k)
+	}
+	sortMetricKeys(keys)
+	for _, k := range keys {
+		out = append(out, metricRow{k.name, k.node, "value", formatFloat(r.gauges[k].Value())})
+	}
+	keys = keys[:0]
+	for k := range r.hists {
+		keys = append(keys, k)
+	}
+	sortMetricKeys(keys)
+	for _, k := range keys {
+		h := r.hists[k]
+		out = append(out, metricRow{k.name, k.node, "count", strconv.FormatUint(h.count, 10)})
+		out = append(out, metricRow{k.name, k.node, "sum", formatFloat(h.sum)})
+		for i, b := range h.bounds {
+			out = append(out, metricRow{k.name, k.node, "le:" + formatFloat(b),
+				strconv.FormatUint(h.counts[i], 10)})
+		}
+		out = append(out, metricRow{k.name, k.node, "le:+Inf",
+			strconv.FormatUint(h.counts[len(h.bounds)], 10)})
+	}
+	return out
+}
+
+func sortMetricKeys(keys []metricKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].name != keys[j].name {
+			return keys[i].name < keys[j].name
+		}
+		return keys[i].node < keys[j].node
+	})
+}
+
+// WriteCSV dumps every metric as `metric,node,field,value` rows in sorted
+// order. A node of wire.NoNode renders as "-" (simulation-wide metrics).
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "metric,node,field,value\n"); err != nil {
+		return err
+	}
+	for _, row := range r.rows() {
+		node := "-"
+		if row.node != wire.NoNode {
+			node = strconv.FormatUint(uint64(row.node), 10)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s\n", row.name, node, row.field, row.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float deterministically with up to 4 decimals,
+// trimming trailing zeros ("1.5", "0.3333", "12").
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'f', 4, 64)
+	// Trim trailing zeros and a dangling decimal point.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}

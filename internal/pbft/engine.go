@@ -9,6 +9,7 @@ import (
 	"predis/internal/consensus"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/obs"
 	"predis/internal/wire"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	// ReproposeInterval is how often an idle leader re-asks the app for a
 	// proposal. Default 10ms.
 	ReproposeInterval time.Duration
+	// Trace, when non-nil, records the block_proposed (proposal learned →
+	// prepare quorum) and prepare_commit (prepare quorum → execution)
+	// lifecycle stages on this replica's timeline. Nil disables tracing.
+	Trace *obs.Tracer
 }
 
 func (c *Config) withDefaults() Config {
@@ -221,6 +226,7 @@ func (e *Engine) proposeAt(seq uint64, digest crypto.Hash, payload wire.Message)
 	inst := e.getInstance(seq, e.view, digest)
 	inst.payload = payload
 	inst.validated = true // leader trusts its own proposal
+	e.cfg.Trace.Begin(obs.StageBlockProposed, obs.BlockKey(seq), e.cfg.Self, e.ctx.Now())
 	env.Multicast(e.ctx, e.peers, pp)
 	// The leader's pre-prepare doubles as its prepare.
 	e.recordPrepare(inst, e.cfg.Self)
@@ -305,6 +311,9 @@ func (e *Engine) onPrePrepare(from wire.NodeID, m *PrePrepare) {
 		delete(e.instances, m.Seq)
 		inst = e.getInstance(m.Seq, m.View, m.Digest)
 	}
+	// block_proposed: this replica learned an authenticated proposal for
+	// the height (first learn wins; re-proposals are idempotent).
+	e.cfg.Trace.Begin(obs.StageBlockProposed, obs.BlockKey(m.Seq), e.cfg.Self, e.ctx.Now())
 	if inst.payload == nil {
 		inst.payload = m.Payload
 	}
@@ -360,6 +369,11 @@ func (e *Engine) recordPrepare(inst *instance, replica wire.NodeID) {
 	inst.prepares[replica] = struct{}{}
 	if !inst.prepared && len(inst.prepares) >= e.quo {
 		inst.prepared = true
+		// Prepare quorum reached: close block_proposed, open
+		// prepare_commit (quorum → execution) on this replica.
+		now := e.ctx.Now()
+		e.cfg.Trace.End(obs.StageBlockProposed, obs.BlockKey(inst.seq), e.cfg.Self, now)
+		e.cfg.Trace.Begin(obs.StagePrepareCommit, obs.BlockKey(inst.seq), e.cfg.Self, now)
 		e.sendCommit(inst)
 	}
 }
@@ -434,6 +448,7 @@ func (e *Engine) tryExecute() {
 		e.lastPayload = inst.payload
 		e.committed++
 		e.resetSuspicion()
+		e.cfg.Trace.End(obs.StagePrepareCommit, obs.BlockKey(inst.seq), e.cfg.Self, e.ctx.Now())
 		e.cfg.App.OnCommit(inst.seq, inst.payload)
 		e.tryPropose()
 	}

@@ -15,6 +15,25 @@
 // The simulator executes protocol handlers (env.Handler) inline on a single
 // goroutine in timestamp order, so runs are reproducible bit-for-bit given
 // the same seed.
+//
+// # Send accounting
+//
+// Send applies one uniform charging policy: whenever a live (non-crashed)
+// sender serializes a message, the sender's uplink busy time and the byte
+// counters (global BytesSent, per-node, per-link) are charged — regardless
+// of whether the message is later dropped, because a sender cannot know
+// the packet will die. Crashed senders emit nothing and are charged
+// nothing. Every charged message either reaches a handler (counted by
+// Delivered) or increments exactly one cause in Dropped(): Unknown
+// (unregistered destination), Crashed (receiver dead at send time, or
+// either endpoint dead at delivery time), Partitioned, Filtered, or Lost
+// (random loss). So after the network quiesces,
+//
+//	Sends() == Delivered() + Dropped().Total()
+//
+// holds as an invariant. Downlink busy time and per-node receive bytes are
+// charged when the message is scheduled onto the receiver's NIC (i.e. only
+// for messages that survive the send-time drop checks).
 package simnet
 
 import (
@@ -22,6 +41,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"time"
 
 	"predis/internal/env"
@@ -69,6 +89,38 @@ func UniformLatency(d time.Duration) func(from, to wire.NodeID) time.Duration {
 	return func(from, to wire.NodeID) time.Duration { return d }
 }
 
+// DropCounts tallies messages dropped by the network, split by cause.
+// Exactly one cause is charged per dropped message.
+type DropCounts struct {
+	// Unknown counts sends to destinations that were never registered.
+	Unknown uint64
+	// Crashed counts messages whose receiver was crashed at send time, or
+	// whose sender or receiver crashed while the message was in flight.
+	Crashed uint64
+	// Partitioned counts messages dropped by the partition filter.
+	Partitioned uint64
+	// Filtered counts messages dropped by the message-level drop filter.
+	Filtered uint64
+	// Lost counts messages dropped by the random loss model.
+	Lost uint64
+}
+
+// Total returns the sum over all causes.
+func (d DropCounts) Total() uint64 {
+	return d.Unknown + d.Crashed + d.Partitioned + d.Filtered + d.Lost
+}
+
+// linkKey identifies a directed sender→receiver pair.
+type linkKey struct {
+	from, to wire.NodeID
+}
+
+// LinkLoad is the cumulative traffic serialized onto one directed link.
+type LinkLoad struct {
+	From, To wire.NodeID
+	Bytes    uint64
+}
+
 // event is one scheduled callback.
 type event struct {
 	at   time.Time
@@ -113,12 +165,16 @@ type Network struct {
 	partition  func(from, to wire.NodeID) bool
 	dropFilter func(from, to wire.NodeID, m wire.Message) bool
 	lossRng    *rand.Rand
-	lost       uint64
 
-	// delivered counts messages handed to handlers; bytesSent counts
-	// wire bytes charged to uplinks.
+	// sends counts Send calls by live senders; delivered counts messages
+	// handed to handlers; drops splits the difference by cause; bytesSent
+	// counts wire bytes charged to uplinks; linkBytes is the same total
+	// split per directed sender→receiver pair.
+	sends     uint64
 	delivered uint64
+	drops     DropCounts
 	bytesSent uint64
+	linkBytes map[linkKey]uint64
 
 	// OnDeliver, when non-nil, observes every successful delivery just
 	// before the handler runs. The harness uses it to measure propagation.
@@ -134,6 +190,11 @@ type simNode struct {
 	upFree   time.Time
 	downFree time.Time
 	started  bool
+
+	// cumulative NIC accounting (survives Restart — these are lifetime
+	// counters, unlike the upFree/downFree reservations which reset).
+	upBusy, downBusy   time.Duration
+	bytesUp, bytesDown uint64
 }
 
 var _ env.Context = (*simNode)(nil)
@@ -141,16 +202,24 @@ var _ env.Context = (*simNode)(nil)
 // New creates an empty network.
 func New(cfg Config) *Network {
 	return &Network{
-		cfg:     cfg,
-		now:     Epoch,
-		nodes:   make(map[wire.NodeID]*simNode),
-		crashed: make(map[wire.NodeID]bool),
-		lossRng: rand.New(rand.NewSource(cfg.Seed ^ 0x10551055)),
+		cfg:       cfg,
+		now:       Epoch,
+		nodes:     make(map[wire.NodeID]*simNode),
+		crashed:   make(map[wire.NodeID]bool),
+		lossRng:   rand.New(rand.NewSource(cfg.Seed ^ 0x10551055)),
+		linkBytes: make(map[linkKey]uint64),
 	}
 }
 
 // Lost returns how many messages the loss model dropped.
-func (n *Network) Lost() uint64 { return n.lost }
+func (n *Network) Lost() uint64 { return n.drops.Lost }
+
+// Sends returns how many Send calls live senders have made (each is either
+// delivered or counted in exactly one Dropped cause).
+func (n *Network) Sends() uint64 { return n.sends }
+
+// Dropped returns the per-cause drop counts accumulated so far.
+func (n *Network) Dropped() DropCounts { return n.drops }
 
 // Now returns the current virtual time.
 func (n *Network) Now() time.Time { return n.now }
@@ -163,6 +232,58 @@ func (n *Network) Delivered() uint64 { return n.delivered }
 
 // BytesSent returns total wire bytes charged to uplinks so far.
 func (n *Network) BytesSent() uint64 { return n.bytesSent }
+
+// QueueLen returns the number of events currently pending in the event
+// heap (including canceled timers that have not been popped yet).
+func (n *Network) QueueLen() int { return len(n.events) }
+
+// NodeIDs returns every registered node ID in ascending order.
+func (n *Network) NodeIDs() []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	sortNodeIDs(ids)
+	return ids
+}
+
+// NICBusy returns the cumulative serialization busy time of a node's
+// uplink and downlink NICs. Sampling the deltas between two calls yields
+// link utilization over the interval (deltas can transiently exceed the
+// interval length: busy time is reserved ahead when a burst queues).
+func (n *Network) NICBusy(id wire.NodeID) (up, down time.Duration) {
+	sn, ok := n.nodes[id]
+	if !ok {
+		return 0, 0
+	}
+	return sn.upBusy, sn.downBusy
+}
+
+// NodeBytes returns the cumulative wire bytes serialized out of (sent)
+// and into (received) one node.
+func (n *Network) NodeBytes(id wire.NodeID) (sent, received uint64) {
+	sn, ok := n.nodes[id]
+	if !ok {
+		return 0, 0
+	}
+	return sn.bytesUp, sn.bytesDown
+}
+
+// LinkLoads returns cumulative per-link traffic sorted by (from, to) —
+// a deterministic order independent of map iteration.
+func (n *Network) LinkLoads() []LinkLoad {
+	out := make([]LinkLoad, 0, len(n.linkBytes))
+	for k, b := range n.linkBytes {
+		out = append(out, LinkLoad{From: k.from, To: k.to, Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
 
 // AddNode registers a handler under the given ID with the default NIC
 // rates. It panics on duplicate IDs (a setup programming error).
@@ -354,35 +475,47 @@ func (s *simNode) Logf(format string, args ...any) {
 
 // Send implements env.Context. It charges the sender's uplink and the
 // receiver's downlink for the message's WireSize and schedules delivery.
+// The charging policy is uniform across every drop path — see "Send
+// accounting" in the package comment.
 func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	net := s.net
 	if net.crashed[s.id] {
-		return
-	}
-	dst, ok := net.nodes[to]
-	if !ok {
+		// A crashed sender emits nothing and is charged nothing.
 		return
 	}
 	size := m.WireSize()
-	net.bytesSent += uint64(size)
+	net.sends++
 
-	// Uplink serialization (charged even if the message is later dropped:
-	// a sender cannot know the packet will die).
+	// Uplink serialization and byte counters, charged before any drop
+	// decision: a live sender always puts the packet on the wire and
+	// cannot know it will die downstream.
+	net.bytesSent += uint64(size)
+	s.bytesUp += uint64(size)
+	net.linkBytes[linkKey{s.id, to}] += uint64(size)
 	sendStart := later(net.now, s.upFree)
 	sendEnd := sendStart.Add(txTime(size, s.up))
 	s.upFree = sendEnd
+	s.upBusy += sendEnd.Sub(sendStart)
 
+	dst, ok := net.nodes[to]
+	if !ok {
+		net.drops.Unknown++
+		return
+	}
 	if net.crashed[to] {
+		net.drops.Crashed++
 		return
 	}
 	if net.partition != nil && net.partition(s.id, to) {
+		net.drops.Partitioned++
 		return
 	}
 	if net.dropFilter != nil && net.dropFilter(s.id, to, m) {
+		net.drops.Filtered++
 		return
 	}
 	if net.cfg.LossProbability > 0 && net.lossRng.Float64() < net.cfg.LossProbability {
-		net.lost++
+		net.drops.Lost++
 		return
 	}
 
@@ -392,11 +525,14 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	recvStart := later(sendStart.Add(lat), dst.downFree)
 	recvEnd := recvStart.Add(txTime(size, dst.down))
 	dst.downFree = recvEnd
+	dst.downBusy += recvEnd.Sub(recvStart)
+	dst.bytesDown += uint64(size)
 	deliverAt := later(recvEnd, sendEnd.Add(lat))
 
 	from := s.id
 	net.schedule(deliverAt, to, func() {
 		if net.crashed[to] || net.crashed[from] {
+			net.drops.Crashed++
 			return
 		}
 		msg := m

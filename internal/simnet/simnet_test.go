@@ -510,3 +510,193 @@ func TestCrashRestartDeterministic(t *testing.T) {
 		t.Fatal("empty run")
 	}
 }
+
+// sendProbe builds a fresh network with nodes 0 and 1 and returns it with
+// the two recorders. Bandwidth is finite so uplink busy time is non-zero.
+func sendProbe(t *testing.T, cfg Config) (*Network, *recorder, *recorder) {
+	t.Helper()
+	registerTestTypes()
+	if cfg.Uplink == 0 {
+		cfg.Uplink = Mbps100
+	}
+	if cfg.Downlink == 0 {
+		cfg.Downlink = Mbps100
+	}
+	n := New(cfg)
+	a, b := &recorder{}, &recorder{}
+	n.AddNode(0, a)
+	n.AddNode(1, b)
+	n.Start()
+	return n, a, b
+}
+
+// TestSendAccountingUniformAcrossDrops pins the uniform charging policy:
+// every drop path charges the live sender's uplink and the byte counters
+// exactly like a delivered message, and increments exactly one drop cause.
+// Before the fix, unknown destinations charged nothing while crashed
+// destinations charged everything — asymmetric and untestable.
+func TestSendAccountingUniformAcrossDrops(t *testing.T) {
+	msg := &ping{Seq: 1, Size: 1000}
+	size := uint64(msg.WireSize())
+
+	check := func(name string, n *Network, wantDrops DropCounts) {
+		t.Helper()
+		if n.BytesSent() != size {
+			t.Fatalf("%s: BytesSent = %d, want %d (drop paths must charge bytes)", name, n.BytesSent(), size)
+		}
+		sent, _ := n.NodeBytes(0)
+		if sent != size {
+			t.Fatalf("%s: sender NodeBytes = %d, want %d", name, sent, size)
+		}
+		up, _ := n.NICBusy(0)
+		if up <= 0 {
+			t.Fatalf("%s: sender uplink busy = %v, want > 0 (drop paths must charge uplink)", name, up)
+		}
+		if n.Dropped() != wantDrops {
+			t.Fatalf("%s: Dropped = %+v, want %+v", name, n.Dropped(), wantDrops)
+		}
+		if n.Delivered() != 0 {
+			t.Fatalf("%s: Delivered = %d, want 0", name, n.Delivered())
+		}
+		if n.Sends() != n.Delivered()+n.Dropped().Total() {
+			t.Fatalf("%s: invariant broken: sends=%d delivered=%d drops=%d",
+				name, n.Sends(), n.Delivered(), n.Dropped().Total())
+		}
+	}
+
+	t.Run("unknown", func(t *testing.T) {
+		n, a, _ := sendProbe(t, Config{})
+		a.ctx.Send(99, msg)
+		n.Run(time.Second)
+		check("unknown", n, DropCounts{Unknown: 1})
+	})
+	t.Run("crashed-dest", func(t *testing.T) {
+		n, a, _ := sendProbe(t, Config{})
+		n.Crash(1)
+		a.ctx.Send(1, msg)
+		n.Run(time.Second)
+		check("crashed-dest", n, DropCounts{Crashed: 1})
+	})
+	t.Run("partitioned", func(t *testing.T) {
+		n, a, _ := sendProbe(t, Config{})
+		n.SetPartition(func(from, to wire.NodeID) bool { return true })
+		a.ctx.Send(1, msg)
+		n.Run(time.Second)
+		check("partitioned", n, DropCounts{Partitioned: 1})
+	})
+	t.Run("filtered", func(t *testing.T) {
+		n, a, _ := sendProbe(t, Config{})
+		n.SetDropFilter(func(from, to wire.NodeID, m wire.Message) bool { return true })
+		a.ctx.Send(1, msg)
+		n.Run(time.Second)
+		check("filtered", n, DropCounts{Filtered: 1})
+	})
+	t.Run("lost", func(t *testing.T) {
+		n, a, _ := sendProbe(t, Config{LossProbability: 1})
+		a.ctx.Send(1, msg)
+		n.Run(time.Second)
+		check("lost", n, DropCounts{Lost: 1})
+		if n.Lost() != 1 {
+			t.Fatalf("Lost() = %d, want 1", n.Lost())
+		}
+	})
+	t.Run("crashed-sender-charges-nothing", func(t *testing.T) {
+		n, a, _ := sendProbe(t, Config{})
+		n.Crash(0)
+		a.ctx.Send(1, msg)
+		n.Run(time.Second)
+		if n.Sends() != 0 || n.BytesSent() != 0 || n.Dropped().Total() != 0 {
+			t.Fatalf("crashed sender must be inert: sends=%d bytes=%d drops=%+v",
+				n.Sends(), n.BytesSent(), n.Dropped())
+		}
+		up, _ := n.NICBusy(0)
+		if up != 0 {
+			t.Fatalf("crashed sender uplink busy = %v, want 0", up)
+		}
+	})
+}
+
+// TestInFlightCrashCountsAsCrashedDrop covers the delivery-time drop path:
+// a message already on the wire when the receiver crashes is counted under
+// Crashed, keeping the sends = delivered + drops invariant.
+func TestInFlightCrashCountsAsCrashedDrop(t *testing.T) {
+	n, a, b := sendProbe(t, Config{Latency: UniformLatency(50 * time.Millisecond)})
+	a.ctx.Send(1, &ping{Seq: 1, Size: 10})
+	n.At(10*time.Millisecond, func() { n.Crash(1) })
+	n.Run(time.Second)
+	if len(b.got) != 0 {
+		t.Fatalf("crashed receiver got %d messages", len(b.got))
+	}
+	if got := n.Dropped(); got != (DropCounts{Crashed: 1}) {
+		t.Fatalf("Dropped = %+v, want Crashed:1", got)
+	}
+	if n.Sends() != n.Delivered()+n.Dropped().Total() {
+		t.Fatalf("invariant broken: sends=%d delivered=%d drops=%d",
+			n.Sends(), n.Delivered(), n.Dropped().Total())
+	}
+}
+
+// TestSendInvariantUnderLoss checks the accounting invariant over a noisy
+// bulk run: every live send is either delivered or counted in exactly one
+// drop cause.
+func TestSendInvariantUnderLoss(t *testing.T) {
+	n, a, b := sendProbe(t, Config{LossProbability: 0.3, Seed: 7})
+	for i := 0; i < 200; i++ {
+		a.ctx.Send(1, &ping{Seq: uint64(i), Size: 10})
+		b.ctx.Send(0, &ping{Seq: uint64(i), Size: 10})
+	}
+	n.Run(time.Second)
+	if n.Sends() != 400 {
+		t.Fatalf("Sends = %d, want 400", n.Sends())
+	}
+	if n.Delivered()+n.Dropped().Total() != n.Sends() {
+		t.Fatalf("invariant broken: delivered=%d drops=%+v sends=%d",
+			n.Delivered(), n.Dropped(), n.Sends())
+	}
+	if n.Dropped().Lost == 0 || n.Delivered() == 0 {
+		t.Fatalf("want both losses and deliveries: %+v delivered=%d", n.Dropped(), n.Delivered())
+	}
+}
+
+// TestNICAccountingAndLinkLoads checks the sampler-facing accessors:
+// busy time matches serialization time, per-node and per-link bytes match
+// what was sent, and LinkLoads is sorted.
+func TestNICAccountingAndLinkLoads(t *testing.T) {
+	n, a, b := sendProbe(t, Config{})
+	msg := &ping{Seq: 1, Size: 125_000} // ≈10ms at 100 Mbps
+	a.ctx.Send(1, msg)
+	b.ctx.Send(0, &ping{Seq: 2, Size: 0})
+	n.Run(time.Second)
+
+	size := uint64(msg.WireSize())
+	wantBusy := time.Duration(float64(size) / float64(Mbps100) * float64(time.Second))
+	up, _ := n.NICBusy(0)
+	if up != wantBusy {
+		t.Fatalf("uplink busy = %v, want %v", up, wantBusy)
+	}
+	_, down := n.NICBusy(1)
+	if down != wantBusy {
+		t.Fatalf("downlink busy = %v, want %v", down, wantBusy)
+	}
+	sent0, recv0 := n.NodeBytes(0)
+	if sent0 != size || recv0 == 0 {
+		t.Fatalf("node 0 bytes = (%d, %d)", sent0, recv0)
+	}
+	loads := n.LinkLoads()
+	if len(loads) != 2 {
+		t.Fatalf("LinkLoads = %+v", loads)
+	}
+	if loads[0].From != 0 || loads[0].To != 1 || loads[0].Bytes != size {
+		t.Fatalf("link 0→1 = %+v, want %d bytes", loads[0], size)
+	}
+	if loads[1].From != 1 || loads[1].To != 0 {
+		t.Fatalf("LinkLoads not sorted: %+v", loads)
+	}
+	if up2, down2 := n.NICBusy(99); up2 != 0 || down2 != 0 {
+		t.Fatal("unknown node NICBusy must be zero")
+	}
+	ids := n.NodeIDs()
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("NodeIDs = %v", ids)
+	}
+}

@@ -5,6 +5,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -19,7 +20,8 @@ type Summary struct {
 }
 
 // Percentile returns the p-th percentile (0..100) of a sorted sample using
-// nearest-rank. Empty samples yield zero.
+// the nearest-rank definition: the value at rank ceil(p/100·n), 1-based.
+// Empty samples yield zero.
 func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if len(sorted) == 0 {
 		return 0
@@ -30,14 +32,17 @@ func Percentile(sorted []time.Duration, p float64) time.Duration {
 	if p >= 100 {
 		return sorted[len(sorted)-1]
 	}
-	rank := int(p/100*float64(len(sorted))+0.5) - 1
-	if rank < 0 {
-		rank = 0
+	// Nearest-rank is ceil, not round-half-up: P85 of 12 samples is rank
+	// ceil(10.2) = 11, where rounding would understate it as rank 10. The
+	// tiny epsilon absorbs float error when p/100·n is an exact integer.
+	rank := int(math.Ceil(p/100*float64(len(sorted)) - 1e-9))
+	if rank < 1 {
+		rank = 1
 	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
+	if rank > len(sorted) {
+		rank = len(sorted)
 	}
-	return sorted[rank]
+	return sorted[rank-1]
 }
 
 // Summarize computes a Summary; the input is not modified.

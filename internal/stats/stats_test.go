@@ -29,6 +29,48 @@ func TestPercentileEdges(t *testing.T) {
 	}
 }
 
+// TestPercentileNearestRank pins the nearest-rank definition
+// (rank = ceil(p/100·n)) for odd, even, and single-element samples.
+// The P85-of-12 case is the regression the round-half-up bug understated:
+// ceil(10.2) = rank 11 (value 11), where int(10.2+0.5) gave rank 10.
+func TestPercentileNearestRank(t *testing.T) {
+	seq := func(n int) []time.Duration {
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(i + 1)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		{"single-p50", 1, 50, 1},
+		{"single-p99", 1, 99, 1},
+		{"odd-p50", 5, 50, 3},    // ceil(2.5) = 3
+		{"odd-p90", 5, 90, 5},    // ceil(4.5) = 5
+		{"odd-p99", 5, 99, 5},    // ceil(4.95) = 5
+		{"even-p50", 4, 50, 2},   // ceil(2.0) = 2 (exact integer stays put)
+		{"even-p90", 4, 90, 4},   // ceil(3.6) = 4
+		{"even-p99", 4, 99, 4},   // ceil(3.96) = 4
+		{"even-p85", 12, 85, 11}, // ceil(10.2) = 11; round-half-up said 10
+		{"even-p25", 12, 25, 3},  // ceil(3.0) = 3
+		{"ten-p50", 10, 50, 5},   // ceil(5.0) = 5
+		{"ten-p90", 10, 90, 9},   // ceil(9.0) = 9
+		{"ten-p99", 10, 99, 10},  // ceil(9.9) = 10
+		{"hundred-p99", 100, 99, 99},
+		{"hundred-p90", 100, 90, 90},
+	}
+	for _, tc := range cases {
+		if got := Percentile(seq(tc.n), tc.p); got != tc.want {
+			t.Errorf("%s: Percentile(1..%d, %v) = %v, want %v",
+				tc.name, tc.n, tc.p, got, tc.want)
+		}
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
 		t.Fatal("empty summary must be zero")

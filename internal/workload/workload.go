@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"predis/internal/env"
+	"predis/internal/obs"
 	"predis/internal/stats"
 	"predis/internal/types"
 	"predis/internal/wire"
@@ -136,6 +137,10 @@ type ClientConfig struct {
 	ResubmitAfter time.Duration
 	// Collector receives measurements (may be nil).
 	Collector *Collector
+	// Trace, when non-nil, receives the submit-stage anchor for every
+	// transaction (closed by the receiving consensus node). Nil disables
+	// tracing at zero cost.
+	Trace *obs.Tracer
 }
 
 // Client is an open-loop transaction generator.
@@ -256,6 +261,10 @@ func (c *Client) submitOne(now time.Time) {
 		replies:   make(map[wire.NodeID]struct{}, c.cfg.F+1),
 	}
 	c.pending[c.seq] = p
+	// Anchor the submit stage; the first consensus node to receive the
+	// transaction closes the span (earliest mark wins, so broadcast and
+	// resubmission never distort it).
+	c.cfg.Trace.Mark(obs.StageSubmit, obs.TxKey(c.cfg.Self, c.seq), now)
 	switch c.cfg.Policy {
 	case Broadcast:
 		for _, target := range c.cfg.Targets {
