@@ -1,6 +1,11 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint test race fmt bench trace-smoke ci
+.PHONY: all build vet lint test race fmt bench bench-kernels bench-smoke trace-smoke ci
+
+# The kernel micro-benchmark set (bench_kernels_test.go at the repo
+# root): simnet scheduling, wire framing, erasure coding, merkle, and
+# signature hot paths.
+KERNEL_BENCH = BenchmarkSimnet|BenchmarkWire|BenchmarkErasure|BenchmarkMerkle|BenchmarkEd25519|BenchmarkHashConcat
 
 all: ci
 
@@ -28,8 +33,19 @@ race:
 fmt:
 	@test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 
+# bench: kernel micro-benchmarks, converted to BENCH_kernels.json by
+# tools/benchjson so results can be committed and diffed across changes.
+# Figure-level benchmarks remain available via `go test -bench=Fig`.
 bench:
-	go test -bench=. -benchmem
+	go test -run '^$$' -bench '$(KERNEL_BENCH)' -benchmem . \
+		| go run ./tools/benchjson -o BENCH_kernels.json
+	@echo wrote BENCH_kernels.json
+
+# bench-smoke: the CI gate — every kernel benchmark must run (once) and
+# the benchjson converter must accept the output.
+bench-smoke:
+	go test -run '^$$' -bench '$(KERNEL_BENCH)' -benchtime=1x -benchmem . \
+		| go run ./tools/benchjson -o /dev/null
 
 # trace-smoke: run the quickstart experiment with -trace and validate the
 # emitted Chrome trace JSON parses and records at least one span for every
@@ -41,4 +57,4 @@ trace-smoke:
 	go run ./tools/tracecheck bin/trace-smoke.json
 	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
 
-ci: fmt build vet lint race trace-smoke
+ci: fmt build vet lint race trace-smoke bench-smoke

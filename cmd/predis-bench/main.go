@@ -45,6 +45,7 @@ func main() {
 type cli struct {
 	quick      bool
 	seed       int64
+	parallel   int
 	trace      bool
 	traceOut   string
 	metrics    bool
@@ -59,6 +60,7 @@ func parse(argv []string) (cli, []string, error) {
 	fs := flag.NewFlagSet("predis-bench", flag.ContinueOnError)
 	fs.BoolVar(&c.quick, "quick", false, "shrink durations and sweeps (~1 minute total)")
 	fs.Int64Var(&c.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&c.parallel, "parallel", 1, "run up to N independent experiment points concurrently (results are identical to -parallel 1)")
 	fs.BoolVar(&c.trace, "trace", false, "write Chrome trace-event JSON for supporting experiments")
 	fs.StringVar(&c.traceOut, "trace-out", "", "trace output path (default <id>-trace.json)")
 	fs.BoolVar(&c.metrics, "metrics", false, "write stage/metric/sample CSVs for supporting experiments")
@@ -87,7 +89,7 @@ func run(argv []string) int {
 		usage()
 		return 2
 	}
-	opts := harness.Options{Quick: c.quick, Seed: c.seed}
+	opts := harness.Options{Quick: c.quick, Seed: c.seed, Workers: c.parallel}
 
 	switch args[0] {
 	case "list":
@@ -236,6 +238,9 @@ Observability (quickstart, recovery):
 Flags:
   -quick         shrink durations and sweeps (~1 minute total)
   -seed N        simulation seed (default 1)
+  -parallel N    run up to N experiment points concurrently (wall-clock
+                 only; every point owns its own simulation, so results
+                 and replay hashes match -parallel 1 exactly)
   -trace         write Chrome trace-event JSON + stage-latency CSV
   -trace-out P   trace output path (default <id>-trace.json)
   -metrics       write stage/metric/sample/link CSVs

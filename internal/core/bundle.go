@@ -112,6 +112,12 @@ type BundleHeader struct {
 	Tips TipList
 	// Sig is the producer's signature over Hash().
 	Sig []byte
+
+	// hash memoizes Hash(): the signature is excluded from the digest, so
+	// the memo is valid as soon as the unsigned fields are set, and headers
+	// are immutable once packed or decoded.
+	hash    crypto.Hash
+	hashSet bool
 }
 
 // encodeUnsigned writes every field except the signature.
@@ -157,16 +163,41 @@ func (h *BundleHeader) EncodedSize() int {
 // signature. Theorem 3.1 (bundle header consistency) rests on this hash
 // committing to TxRoot.
 func (h *BundleHeader) Hash() crypto.Hash {
+	if h.hashSet {
+		return h.hash
+	}
 	e := wire.NewEncoder(h.EncodedSize())
 	h.encodeUnsigned(e)
-	return crypto.HashBytes(e.Bytes())
+	h.hash = crypto.HashBytes(e.Bytes())
+	h.hashSet = true
+	return h.hash
 }
 
 // Bundle is a header plus its transaction body.
 type Bundle struct {
 	Header BundleHeader
 	Txs    []*types.Transaction
+
+	// bodyOK memoizes a successful VerifyBody. Bundles are immutable once
+	// packed or decoded, and the simulator hands the same *Bundle to every
+	// recipient, so re-deriving the Merkle root per recipient is pure
+	// waste. Failures are never cached.
+	bodyOK bool
+	// stripeCache holds the erasure-coded form of this bundle (stored as
+	// any to keep core free of a multizone dependency). Erasure encoding
+	// is deterministic in Txs, so every consensus node would compute the
+	// same shards; caching them on the shared *Bundle makes the encode run
+	// once network-wide instead of once per distributor.
+	stripeCache any
 }
+
+// StripeCache returns the value stored by SetStripeCache (nil if unset).
+func (b *Bundle) StripeCache() any { return b.stripeCache }
+
+// SetStripeCache memoizes the erasure-coded form of this bundle. The
+// value must be a pure function of b's contents so the cache stays
+// value-identical across nodes.
+func (b *Bundle) SetStripeCache(v any) { b.stripeCache = v }
 
 // PackBundle builds and signs a bundle extending parent (nil for a genesis
 // bundle) with the given transactions and tip list. The caller's signer
@@ -214,6 +245,9 @@ func TxMerkleRoot(txs []*types.Transaction) crypto.Hash {
 
 // VerifyBody checks that the body matches the header's commitments.
 func (b *Bundle) VerifyBody() error {
+	if b.bodyOK {
+		return nil
+	}
 	if int(b.Header.TxCount) != len(b.Txs) {
 		return fmt.Errorf("core: bundle tx count %d, header says %d", len(b.Txs), b.Header.TxCount)
 	}
@@ -223,6 +257,7 @@ func (b *Bundle) VerifyBody() error {
 	if got := TxMerkleRoot(b.Txs); got != b.Header.TxRoot {
 		return fmt.Errorf("core: bundle tx root mismatch")
 	}
+	b.bodyOK = true
 	return nil
 }
 

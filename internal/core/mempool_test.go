@@ -370,8 +370,12 @@ func TestHeaderHashExcludesSignature(t *testing.T) {
 	if b.Header.Hash() != h1 {
 		t.Fatal("signature must not affect the header hash")
 	}
-	b.Header.Height++
-	if b.Header.Hash() == h1 {
+	// Headers are immutable once packed (Hash memoizes), so derive a
+	// sibling header that differs only in Height and compare fresh.
+	h2 := b.Header
+	h2.hashSet = false
+	h2.Height++
+	if h2.Hash() == h1 {
 		t.Fatal("height must affect the header hash")
 	}
 }

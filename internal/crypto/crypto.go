@@ -32,8 +32,24 @@ var ZeroHash Hash
 func HashBytes(b []byte) Hash { return sha256.Sum256(b) }
 
 // HashConcat returns the SHA-256 digest of the concatenation of the parts
-// without materializing the concatenation.
+// without heap-materializing the concatenation. Short inputs — the
+// Merkle leaf/node combiners that dominate the simulator's hashing
+// profile are ≤ 65 bytes — take a stack-buffer fast path instead of
+// allocating a sha256.New state per call; both paths digest the
+// identical byte stream, so the result is unchanged.
 func HashConcat(parts ...[]byte) Hash {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n <= 128 {
+		var buf [128]byte
+		i := 0
+		for _, p := range parts {
+			i += copy(buf[i:], p)
+		}
+		return sha256.Sum256(buf[:n])
+	}
 	h := sha256.New()
 	for _, p := range parts {
 		h.Write(p)

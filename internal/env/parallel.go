@@ -1,0 +1,45 @@
+package env
+
+import "sync"
+
+// Parallel runs fn(0), fn(1), …, fn(n-1), fanning the calls out over up
+// to `workers` goroutines. With workers ≤ 1 it degrades to a plain
+// sequential loop, byte-identical in behavior to the pre-parallel code.
+//
+// It is the harness's worker pool for independent experiment points:
+// each point owns its own simnet.Network, so point-level determinism is
+// untouched by goroutine scheduling — only the wall-clock interleaving
+// changes, and callers merge results by index. The goroutines live here
+// in env (exempt from the determinism analyzer's no-goroutine rule)
+// precisely so that sim-visible packages can use the pool without
+// holding a `go` statement themselves.
+//
+// fn must be safe for concurrent invocation with distinct indices;
+// distinct-index writes to caller-owned slices are safe.
+func Parallel(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

@@ -34,6 +34,7 @@ func initTables() {
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
 	}
+	initMulTable()
 }
 
 // gfMul multiplies two field elements.

@@ -1,0 +1,78 @@
+package erasure
+
+import "encoding/binary"
+
+// Table-driven GF(2^8) kernels. The scalar mulRowAdd/mulRowSet in gf.go
+// pay a log/exp lookup pair plus a zero check per byte; the kernels here
+// index one precomputed 256-entry product row per coefficient, hoist the
+// bounds check out of the inner loop, and XOR word-wide when the
+// coefficient is 1. gf.go's scalar versions are kept as the reference
+// implementation the cross-check tests compare against (and the cold
+// matrix algebra still uses them).
+
+// mulTable[c][x] = c·x in GF(2^8). 64 KiB, filled by initTables.
+var mulTable [256][256]byte
+
+// initMulTable fills mulTable; must run after the exp/log tables are
+// ready (initTables calls it last).
+func initMulTable() {
+	for c := 1; c < 256; c++ {
+		row := &mulTable[c]
+		for x := 1; x < 256; x++ {
+			row[x] = gfExp[int(gfLog[c])+int(gfLog[x])]
+		}
+	}
+}
+
+// mulAndAdd computes dst[i] ^= c·src[i] over len(src) bytes.
+func mulAndAdd(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		xorBytes(dst, src)
+		return
+	}
+	mt := &mulTable[c]
+	dst = dst[:len(src)] // hoist the bounds check
+	for i, s := range src {
+		dst[i] ^= mt[s]
+	}
+}
+
+// mulSet computes dst[i] = c·src[i] over len(src) bytes.
+func mulSet(dst, src []byte, c byte) {
+	switch c {
+	case 0:
+		clearBytes(dst[:len(src)])
+		return
+	case 1:
+		copy(dst, src)
+		return
+	}
+	mt := &mulTable[c]
+	dst = dst[:len(src)]
+	for i, s := range src {
+		dst[i] = mt[s]
+	}
+}
+
+// xorBytes computes dst[i] ^= src[i] over len(src) bytes, word-wide.
+func xorBytes(dst, src []byte) {
+	dst = dst[:len(src)]
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}
+
+// clearBytes zeroes b (compiles to a memclr).
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

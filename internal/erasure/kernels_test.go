@@ -1,0 +1,226 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestKernelsMatchScalar cross-checks the table-driven mulAndAdd/mulSet
+// kernels against the scalar log/exp reference (mulRowAdd/mulRowSet)
+// over every coefficient and awkward slice lengths (word-remainder
+// tails, length 0/1).
+func TestKernelsMatchScalar(t *testing.T) {
+	tablesOnce.Do(initTables)
+	rng := rand.New(rand.NewSource(2024))
+	for _, n := range []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 1000} {
+		src := make([]byte, n)
+		base := make([]byte, n)
+		rng.Read(src)
+		rng.Read(base)
+		for c := 0; c < 256; c++ {
+			wantAdd := append([]byte(nil), base...)
+			gotAdd := append([]byte(nil), base...)
+			mulRowAdd(wantAdd, src, byte(c))
+			mulAndAdd(gotAdd, src, byte(c))
+			if !bytes.Equal(wantAdd, gotAdd) {
+				t.Fatalf("mulAndAdd(c=%d, n=%d) diverges from scalar reference", c, n)
+			}
+			wantSet := append([]byte(nil), base...)
+			gotSet := append([]byte(nil), base...)
+			mulRowSet(wantSet, src, byte(c))
+			mulSet(gotSet, src, byte(c))
+			if !bytes.Equal(wantSet, gotSet) {
+				t.Fatalf("mulSet(c=%d, n=%d) diverges from scalar reference", c, n)
+			}
+		}
+	}
+}
+
+// scalarReconstruct is the pre-cache, pre-kernel reference decoder: it
+// rebuilds and inverts the decode matrix on every call and uses the
+// scalar row operations. The fast path must agree with it bit-for-bit.
+func scalarReconstruct(c *Coder, shards [][]byte) error {
+	size := -1
+	for _, s := range shards {
+		if s != nil {
+			size = len(s)
+			break
+		}
+	}
+	sub := newMatrix(c.data, c.data)
+	srcRows := make([][]byte, 0, c.data)
+	for i, got := 0, 0; i < c.TotalShards() && got < c.data; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		copy(sub.row(got), c.enc.row(i))
+		srcRows = append(srcRows, shards[i])
+		got++
+	}
+	dec, ok := sub.invert()
+	if !ok {
+		return ErrTooFewShards
+	}
+	for d := 0; d < c.data; d++ {
+		if shards[d] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for k := 0; k < c.data; k++ {
+			mulRowAdd(out, srcRows[k], dec.row(d)[k])
+		}
+		shards[d] = out
+	}
+	for p := 0; p < c.parity; p++ {
+		i := c.data + p
+		if shards[i] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for k := 0; k < c.data; k++ {
+			mulRowAdd(out, shards[k], c.enc.row(i)[k])
+		}
+		shards[i] = out
+	}
+	return nil
+}
+
+// lossSubsets enumerates every subset of {0..n-1} of size k.
+func lossSubsets(n, k int) [][]int {
+	var out [][]int
+	var rec func(start int, cur []int)
+	rec = func(start int, cur []int) {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for i := start; i < n; i++ {
+			rec(i+1, append(cur, i))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// TestReconstructAllLossSubsets decodes with every possible (n−k)-subset
+// of losses at small n and cross-checks the cached fast path against the
+// scalar reference decoder.
+func TestReconstructAllLossSubsets(t *testing.T) {
+	for _, p := range []struct{ data, parity int }{
+		{2, 1}, {3, 2}, {4, 2}, {5, 3},
+	} {
+		c, err := New(p.data, p.parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(p.data*100 + p.parity)))
+		payload := make([]byte, 257) // odd length exercises padding
+		rng.Read(payload)
+		full := c.Split(payload)
+		if err := c.Encode(full); err != nil {
+			t.Fatal(err)
+		}
+		n := c.TotalShards()
+		for lost := 1; lost <= p.parity; lost++ {
+			for _, subset := range lossSubsets(n, lost) {
+				fast := make([][]byte, n)
+				ref := make([][]byte, n)
+				for i := range full {
+					fast[i] = append([]byte(nil), full[i]...)
+					ref[i] = append([]byte(nil), full[i]...)
+				}
+				for _, i := range subset {
+					fast[i], ref[i] = nil, nil
+				}
+				if err := c.Reconstruct(fast); err != nil {
+					t.Fatalf("(%d,%d) lose %v: %v", p.data, p.parity, subset, err)
+				}
+				if err := scalarReconstruct(c, ref); err != nil {
+					t.Fatalf("(%d,%d) scalar lose %v: %v", p.data, p.parity, subset, err)
+				}
+				for i := range full {
+					if !bytes.Equal(fast[i], ref[i]) {
+						t.Fatalf("(%d,%d) lose %v: shard %d diverges from scalar reference",
+							p.data, p.parity, subset, i)
+					}
+					if !bytes.Equal(fast[i], full[i]) {
+						t.Fatalf("(%d,%d) lose %v: shard %d not recovered", p.data, p.parity, subset, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructRandomizedCrossCheck hammers the matrix cache with
+// randomized (seeded) loss patterns at paper-scale parameters, checking
+// the cached fast path against the scalar reference each round. Repeats
+// of the same survivor set exercise cache hits; fresh sets exercise
+// misses.
+func TestReconstructRandomizedCrossCheck(t *testing.T) {
+	c, err := New(22, 3) // n_c = 25, f = 3 — the paper's largest sweep point
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	payload := make([]byte, 4096)
+	rng.Read(payload)
+	full := c.Split(payload)
+	if err := c.Encode(full); err != nil {
+		t.Fatal(err)
+	}
+	n := c.TotalShards()
+	for round := 0; round < 200; round++ {
+		lost := 1 + rng.Intn(c.parity)
+		fast := make([][]byte, n)
+		ref := make([][]byte, n)
+		for i := range full {
+			fast[i] = append([]byte(nil), full[i]...)
+			ref[i] = append([]byte(nil), full[i]...)
+		}
+		for k := 0; k < lost; k++ {
+			i := rng.Intn(n)
+			fast[i], ref[i] = nil, nil
+		}
+		if err := c.Reconstruct(fast); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := scalarReconstruct(c, ref); err != nil {
+			t.Fatalf("round %d scalar: %v", round, err)
+		}
+		for i := range full {
+			if !bytes.Equal(fast[i], ref[i]) {
+				t.Fatalf("round %d: shard %d diverges from scalar reference", round, i)
+			}
+		}
+	}
+}
+
+// TestDecodeMatrixCacheReuse pins that repeated reconstructions with the
+// same survivor set hit the cache (same *matrix) and different sets do
+// not collide.
+func TestDecodeMatrixCacheReuse(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := c.decodeMatrix([]byte{0, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.decodeMatrix([]byte{0, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("same survivor set did not hit the decode-matrix cache")
+	}
+	m3, err := c.decodeMatrix([]byte{0, 1, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3 == m1 {
+		t.Fatal("different survivor sets shared a cache entry")
+	}
+}

@@ -18,13 +18,21 @@ var (
 var tablesOnce sync.Once
 
 // Coder encodes data into data+parity shards and reconstructs missing
-// shards from any `data` survivors. A Coder is immutable and safe for
-// concurrent use.
+// shards from any `data` survivors. A Coder's parameters and encoding
+// matrix are immutable and it is safe for concurrent use; the decode
+// cache below is a sync.Map so concurrent Reconstruct calls stay safe.
 type Coder struct {
 	data, parity int
 	// enc is the (data+parity)×data encoding matrix whose top square is the
 	// identity, so shards[0:data] are the data verbatim (systematic code).
 	enc *matrix
+	// decCache memoizes inverted decode sub-matrices keyed by the shard
+	// index set the reconstruction read from. Loss patterns repeat
+	// (Multi-Zone reassembles from whichever n_c−f relayers answer, and
+	// the same subset keeps answering), so the Gauss–Jordan inversion —
+	// the dominant per-Reconstruct cost at paper shard counts — runs
+	// once per distinct survivor set.
+	decCache sync.Map // string(survivor row indices) → *matrix
 }
 
 // New creates a coder producing `data` data shards and `parity` parity
@@ -65,9 +73,9 @@ func (c *Coder) Encode(shards [][]byte) error {
 	for p := 0; p < c.parity; p++ {
 		out := shards[c.data+p]
 		row := c.enc.row(c.data + p)
-		mulRowSet(out, shards[0], row[0])
+		mulSet(out, shards[0], row[0])
 		for d := 1; d < c.data; d++ {
-			mulRowAdd(out, shards[d], row[d])
+			mulAndAdd(out, shards[d], row[d])
 		}
 	}
 	return nil
@@ -102,20 +110,20 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		return ErrShortData
 	}
 
-	// Build the decode matrix from the first `data` present rows.
-	sub := newMatrix(c.data, c.data)
+	// The decode matrix is determined by which rows feed the
+	// reconstruction — the first `data` present shards.
+	idx := make([]byte, 0, c.data)
 	srcRows := make([][]byte, 0, c.data)
-	for i, got := 0, 0; i < c.TotalShards() && got < c.data; i++ {
+	for i := 0; i < c.TotalShards() && len(idx) < c.data; i++ {
 		if shards[i] == nil {
 			continue
 		}
-		copy(sub.row(got), c.enc.row(i))
+		idx = append(idx, byte(i))
 		srcRows = append(srcRows, shards[i])
-		got++
 	}
-	dec, ok := sub.invert()
-	if !ok {
-		return errors.New("erasure: decode matrix singular")
+	dec, err := c.decodeMatrix(idx)
+	if err != nil {
+		return err
 	}
 
 	// Recover missing data shards: dataShard[d] = dec.row(d) · srcRows.
@@ -126,7 +134,7 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		out := make([]byte, size)
 		row := dec.row(d)
 		for k := 0; k < c.data; k++ {
-			mulRowAdd(out, srcRows[k], row[k])
+			mulAndAdd(out, srcRows[k], row[k])
 		}
 		shards[d] = out
 	}
@@ -139,11 +147,31 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		out := make([]byte, size)
 		row := c.enc.row(i)
 		for k := 0; k < c.data; k++ {
-			mulRowAdd(out, shards[k], row[k])
+			mulAndAdd(out, shards[k], row[k])
 		}
 		shards[i] = out
 	}
 	return nil
+}
+
+// decodeMatrix returns the inverse of the encoding sub-matrix formed by
+// the given survivor row indices, memoized per distinct index set. The
+// returned matrix is shared and must be treated as read-only.
+func (c *Coder) decodeMatrix(idx []byte) (*matrix, error) {
+	key := string(idx)
+	if v, ok := c.decCache.Load(key); ok {
+		return v.(*matrix), nil
+	}
+	sub := newMatrix(c.data, c.data)
+	for r, i := range idx {
+		copy(sub.row(r), c.enc.row(int(i)))
+	}
+	dec, ok := sub.invert()
+	if !ok {
+		return nil, errors.New("erasure: decode matrix singular")
+	}
+	c.decCache.Store(key, dec)
+	return dec, nil
 }
 
 // Verify recomputes parity from the data shards and reports whether every
@@ -156,9 +184,9 @@ func (c *Coder) Verify(shards [][]byte) (bool, error) {
 	buf := make([]byte, size)
 	for p := 0; p < c.parity; p++ {
 		row := c.enc.row(c.data + p)
-		mulRowSet(buf, shards[0], row[0])
+		mulSet(buf, shards[0], row[0])
 		for d := 1; d < c.data; d++ {
-			mulRowAdd(buf, shards[d], row[d])
+			mulAndAdd(buf, shards[d], row[d])
 		}
 		got := shards[c.data+p]
 		for i := range buf {

@@ -18,6 +18,11 @@ type Options struct {
 	// metrics registry, simnet sampler) from experiments that support
 	// them; see ObsSink.
 	Obs *ObsSink
+	// Workers caps how many independent experiment points run
+	// concurrently (wall-clock only; each point owns its own
+	// simnet.Network, so per-point results and replay hashes are
+	// unaffected). 0 or 1 means sequential.
+	Workers int
 }
 
 func (o Options) seed() int64 {
@@ -25,6 +30,13 @@ func (o Options) seed() int64 {
 		return 1
 	}
 	return o.Seed
+}
+
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Experiment regenerates one figure.

@@ -51,7 +51,9 @@ func fig4SizeVariants(o Options, baseline, predis System, title string) ([]*stat
 	}
 	tput := &stats.Table{Title: title + " — throughput (tx/s) vs offered load", XLabel: "offered"}
 	lat := &stats.Table{Title: title + " — latency (ms) vs throughput", XLabel: "tput"}
-	for _, v := range variants {
+	type sweep struct{ tl, lat *stats.Series }
+	sweeps, err := parRun(len(variants), o.workers(), func(i int) (sweep, error) {
+		v := variants[i]
 		base := PointSpec{
 			System:     v.sys,
 			NC:         4,
@@ -61,13 +63,19 @@ func fig4SizeVariants(o Options, baseline, predis System, title string) ([]*stat
 			Duration:   fig4Duration(o),
 			Seed:       o.seed(),
 		}
-		ts, ls, err := LoadSweep(base, fig4Loads(o, v.bundle > 0))
+		ts, ls, err := LoadSweep(base, fig4Loads(o, v.bundle > 0), 1)
 		if err != nil {
-			return nil, err
+			return sweep{}, err
 		}
 		ts.Name, ls.Name = v.label, v.label
-		tput.Series = append(tput.Series, ts)
-		lat.Series = append(lat.Series, ls)
+		return sweep{ts, ls}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sweeps {
+		tput.Series = append(tput.Series, s.tl)
+		lat.Series = append(lat.Series, s.lat)
 	}
 	return []*stats.Table{tput, lat}, nil
 }
@@ -91,8 +99,11 @@ func fig4Scalability(o Options, baseline, predis System, title string) ([]*stats
 		ncs = []int{4, 8}
 	}
 	tbl := &stats.Table{Title: title + " — saturated throughput (tx/s) vs nc", XLabel: "nc"}
-	for _, sys := range []System{baseline, predis} {
-		series := &stats.Series{Name: string(sys)}
+	systems := []System{baseline, predis}
+	// Flatten (system × nc) into one worker-pool batch; results merge
+	// back by index, so series order matches the sequential loop.
+	specs := make([]PointSpec, 0, len(systems)*len(ncs))
+	for _, sys := range systems {
 		for _, nc := range ncs {
 			// Offer more than either system can absorb so the measurement
 			// reflects capacity, not load.
@@ -100,7 +111,7 @@ func fig4Scalability(o Options, baseline, predis System, title string) ([]*stats
 			if sys == baseline {
 				offered = 12000
 			}
-			spec := PointSpec{
+			specs = append(specs, PointSpec{
 				System:   sys,
 				NC:       nc,
 				WAN:      true,
@@ -108,12 +119,17 @@ func fig4Scalability(o Options, baseline, predis System, title string) ([]*stats
 				Clients:  nc,
 				Duration: fig4Duration(o),
 				Seed:     o.seed(),
-			}
-			res, err := RunPoint(spec)
-			if err != nil {
-				return nil, err
-			}
-			series.Add(float64(nc), res.Throughput)
+			})
+		}
+	}
+	results, err := RunPoints(specs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	for si, sys := range systems {
+		series := &stats.Series{Name: string(sys)}
+		for ni, nc := range ncs {
+			series.Add(float64(nc), results[si*len(ncs)+ni].Throughput)
 		}
 		tbl.Series = append(tbl.Series, series)
 	}

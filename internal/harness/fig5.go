@@ -19,7 +19,9 @@ func fig5(o Options, wan bool, title string) ([]*stats.Table, error) {
 	systems := []System{SysPHS, SysNarwhal, SysStratus}
 	tput := &stats.Table{Title: title + " — throughput (tx/s) vs offered load", XLabel: "offered"}
 	lat := &stats.Table{Title: title + " — latency (ms) vs throughput", XLabel: "tput"}
-	for _, sys := range systems {
+	type sweep struct{ tl, lat *stats.Series }
+	sweeps, err := parRun(len(systems), o.workers(), func(i int) (sweep, error) {
+		sys := systems[i]
 		base := PointSpec{
 			System:     sys,
 			NC:         4,
@@ -28,17 +30,23 @@ func fig5(o Options, wan bool, title string) ([]*stats.Table, error) {
 			Duration:   duration,
 			Seed:       o.seed(),
 		}
-		ts, ls, err := LoadSweep(base, loads)
+		ts, ls, err := LoadSweep(base, loads, 1)
 		if err != nil {
-			return nil, err
+			return sweep{}, err
 		}
 		name := string(sys)
 		if sys == SysPHS {
 			name = "Predis"
 		}
 		ts.Name, ls.Name = name, name
-		tput.Series = append(tput.Series, ts)
-		lat.Series = append(lat.Series, ls)
+		return sweep{ts, ls}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range sweeps {
+		tput.Series = append(tput.Series, s.tl)
+		lat.Series = append(lat.Series, s.lat)
 	}
 	return []*stats.Table{tput, lat}, nil
 }

@@ -30,9 +30,15 @@ func Fig6(o Options) ([]*stats.Table, error) {
 	}
 	tput := &stats.Table{Title: "Fig.6 Predis under faults (nc=8) — throughput (tx/s) vs f", XLabel: "f"}
 	lat := &stats.Table{Title: "Fig.6 Predis under faults (nc=8) — latency (ms) vs f", XLabel: "f"}
-	for _, c := range cases {
-		ts := &stats.Series{Name: c.name}
-		ls := &stats.Series{Name: c.name}
+	// Flatten (case × f) into one worker-pool batch, remembering which
+	// case/f each point belongs to so the series assemble in loop order.
+	type pointKey struct {
+		caseIdx int
+		f       int
+	}
+	var keys []pointKey
+	var specs []PointSpec
+	for ci, c := range cases {
 		for _, f := range []int{0, 1, 2} {
 			if c.mode == core.FaultNone && f > 0 {
 				continue // "normal" is a single reference point
@@ -44,7 +50,8 @@ func Fig6(o Options) ([]*stats.Table, error) {
 				// keep the leader honest).
 				faults[wire.NodeID(7-k)] = c.mode
 			}
-			res, err := RunPoint(PointSpec{
+			keys = append(keys, pointKey{ci, f})
+			specs = append(specs, PointSpec{
 				System:   SysPPBFT,
 				NC:       8,
 				F:        2,
@@ -54,11 +61,22 @@ func Fig6(o Options) ([]*stats.Table, error) {
 				Seed:     o.seed(),
 				Faults:   faults,
 			})
-			if err != nil {
-				return nil, err
+		}
+	}
+	results, err := RunPoints(specs, o.workers())
+	if err != nil {
+		return nil, err
+	}
+	for ci, c := range cases {
+		ts := &stats.Series{Name: c.name}
+		ls := &stats.Series{Name: c.name}
+		for i, k := range keys {
+			if k.caseIdx != ci {
+				continue
 			}
-			ts.Add(float64(f), res.Throughput)
-			ls.Add(float64(f), float64(res.Latency.Mean)/float64(time.Millisecond))
+			res := results[i]
+			ts.Add(float64(k.f), res.Throughput)
+			ls.Add(float64(k.f), float64(res.Latency.Mean)/float64(time.Millisecond))
 		}
 		tput.Series = append(tput.Series, ts)
 		lat.Series = append(lat.Series, ls)

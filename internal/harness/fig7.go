@@ -206,27 +206,33 @@ func Fig7(o Options) ([]*stats.Table, error) {
 		Title:  "Fig.7 consensus throughput (tx/s) vs number of full nodes",
 		XLabel: "fullNodes",
 	}
+	// Flatten (nc × fullCount × {star, multizone}) into one batch for the
+	// worker pool; each point is an independent simulation.
+	var specs []fig7Spec
 	for _, nc := range ncs {
 		f := (nc - 1) / 3
+		for _, n := range fullCounts {
+			specs = append(specs,
+				fig7Spec{nc: nc, f: f, fullNodes: n, zones: 0,
+					offered: offered, duration: duration, seed: o.seed()},
+				fig7Spec{nc: nc, f: f, fullNodes: n, zones: zones,
+					offered: offered, duration: duration, seed: o.seed()})
+		}
+	}
+	results, err := parRun(len(specs), o.workers(), func(i int) (float64, error) {
+		return runFig7Point(specs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx := 0
+	for _, nc := range ncs {
 		star := &stats.Series{Name: fmt.Sprintf("star-nc%d", nc)}
 		mz := &stats.Series{Name: fmt.Sprintf("multizone-nc%d", nc)}
 		for _, n := range fullCounts {
-			st, err := runFig7Point(fig7Spec{
-				nc: nc, f: f, fullNodes: n, zones: 0,
-				offered: offered, duration: duration, seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			star.Add(float64(n), st)
-			m, err := runFig7Point(fig7Spec{
-				nc: nc, f: f, fullNodes: n, zones: zones,
-				offered: offered, duration: duration, seed: o.seed(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			mz.Add(float64(n), m)
+			star.Add(float64(n), results[idx])
+			mz.Add(float64(n), results[idx+1])
+			idx += 2
 		}
 		tbl.Series = append(tbl.Series, star, mz)
 	}

@@ -354,30 +354,49 @@ func Fig8(o Options) ([]*stats.Table, error) {
 		blocks = 1
 		zoneVariants = []int{3}
 	}
-	var tables []*stats.Table
+	// Flatten (blockSize × topology-variant) into one batch for the
+	// worker pool; each job runs its own simnet.Network and returns one
+	// coverage series.
+	type job struct {
+		mb   int
+		name string
+		run  func(fig8Spec) (map[float64]time.Duration, error)
+	}
+	var jobs []job
 	for _, mb := range blockSizes {
-		spec := fig8Spec{nc: 8, f: 2, fullNodes: fullNodes, blockMB: mb, blocks: blocks, seed: o.seed()}
+		jobs = append(jobs,
+			job{mb, "star", runFig8Star},
+			job{mb, "random-FEG", runFig8Random})
+		for _, z := range zoneVariants {
+			z := z
+			jobs = append(jobs, job{mb, fmt.Sprintf("multizone-%dz", z),
+				func(s fig8Spec) (map[float64]time.Duration, error) {
+					return runFig8MultiZone(s, z)
+				}})
+		}
+	}
+	series, err := parRun(len(jobs), o.workers(), func(i int) (*stats.Series, error) {
+		j := jobs[i]
+		spec := fig8Spec{nc: 8, f: 2, fullNodes: fullNodes, blockMB: j.mb, blocks: blocks, seed: o.seed()}
+		cov, err := j.run(spec)
+		if err != nil {
+			return nil, err
+		}
+		return coverageSeries(j.name, cov), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var tables []*stats.Table
+	idx := 0
+	for _, mb := range blockSizes {
 		tbl := &stats.Table{
 			Title:  fmt.Sprintf("Fig.8 propagation latency (ms) at %d MB blocks, %d full nodes", mb, fullNodes),
 			XLabel: "%nodes",
 		}
-		star, err := runFig8Star(spec)
-		if err != nil {
-			return nil, err
-		}
-		tbl.Series = append(tbl.Series, coverageSeries("star", star))
-		rnd, err := runFig8Random(spec)
-		if err != nil {
-			return nil, err
-		}
-		tbl.Series = append(tbl.Series, coverageSeries("random-FEG", rnd))
-		for _, z := range zoneVariants {
-			mz, err := runFig8MultiZone(spec, z)
-			if err != nil {
-				return nil, err
-			}
-			tbl.Series = append(tbl.Series, coverageSeries(fmt.Sprintf("multizone-%dz", z), mz))
-		}
+		perSize := 2 + len(zoneVariants)
+		tbl.Series = append(tbl.Series, series[idx:idx+perSize]...)
+		idx += perSize
 		tables = append(tables, tbl)
 	}
 	return tables, nil

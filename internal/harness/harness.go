@@ -10,6 +10,7 @@ import (
 
 	"predis/internal/core"
 	"predis/internal/crypto"
+	"predis/internal/env"
 	"predis/internal/multizone"
 	"predis/internal/node"
 	"predis/internal/simnet"
@@ -210,18 +211,54 @@ func RunPoint(spec PointSpec) (PointResult, error) {
 	return res, nil
 }
 
+// parRun evaluates fn(0..n-1) over up to `workers` goroutines (see
+// env.Parallel) and merges the results back in index order, so output
+// is identical to a sequential loop regardless of scheduling. On error
+// it reports the failure with the lowest index, matching what a
+// sequential loop would have surfaced first.
+func parRun[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	env.Parallel(n, workers, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RunPoints evaluates independent specs on a worker pool, returning
+// results in spec order. Each point builds its own simnet.Network, so
+// per-point determinism (and replay hashes) are untouched by the
+// wall-clock interleaving.
+func RunPoints(specs []PointSpec, workers int) ([]PointResult, error) {
+	return parRun(len(specs), workers, func(i int) (PointResult, error) {
+		return RunPoint(specs[i])
+	})
+}
+
 // LoadSweep runs a spec across offered loads and returns (throughput,
-// latency-ms) pairs — one line of a throughput-latency figure.
-func LoadSweep(base PointSpec, loads []float64) (*stats.Series, *stats.Series, error) {
-	tl := &stats.Series{Name: string(base.System)}
-	lat := &stats.Series{Name: string(base.System)}
-	for _, load := range loads {
+// latency-ms) pairs — one line of a throughput-latency figure. Points
+// are independent simulations, fanned out over `workers` goroutines and
+// merged back in load order.
+func LoadSweep(base PointSpec, loads []float64, workers int) (*stats.Series, *stats.Series, error) {
+	specs := make([]PointSpec, len(loads))
+	for i, load := range loads {
 		spec := base
 		spec.Offered = load
-		res, err := RunPoint(spec)
-		if err != nil {
-			return nil, nil, err
-		}
+		specs[i] = spec
+	}
+	results, err := RunPoints(specs, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	tl := &stats.Series{Name: string(base.System)}
+	lat := &stats.Series{Name: string(base.System)}
+	for i, load := range loads {
+		res := results[i]
 		ms := float64(res.Latency.Mean) / float64(time.Millisecond)
 		tl.Add(load, res.Throughput)
 		lat.Add(res.Throughput, ms)

@@ -61,7 +61,7 @@ func TestRunPointWithFaults(t *testing.T) {
 func TestLoadSweepShape(t *testing.T) {
 	tp, lat, err := LoadSweep(PointSpec{
 		System: SysPPBFT, NC: 4, Duration: 2 * time.Second,
-	}, []float64{1000, 3000})
+	}, []float64{1000, 3000}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

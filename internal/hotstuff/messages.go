@@ -129,11 +129,25 @@ type Block struct {
 	Leader wire.NodeID
 	// Sig is the leader's signature over Hash().
 	Sig []byte
+
+	// payloadEnc memoizes the marshaled Payload frame: proposing to n
+	// replicas (and hashing, and re-proposing) encodes the block payload
+	// once instead of once per phase per recipient.
+	payloadEnc wire.EncCache
+	// hash memoizes Hash(); valid once hashSet. Safe because every
+	// identity field (everything but Sig, which Hash excludes) is set
+	// before the first Hash call and blocks are immutable once built.
+	hash    crypto.Hash
+	hashSet bool
 }
 
 // Hash returns the block identity (header fields + payload digest binding
-// via the encoded payload, excluding the signature).
+// via the encoded payload, excluding the signature). The digest is
+// memoized: verification paths call Hash repeatedly per block.
 func (b *Block) Hash() crypto.Hash {
+	if b.hashSet {
+		return b.hash
+	}
 	e := wire.NewEncoder(128)
 	e.U64(b.Height)
 	e.U64(b.View)
@@ -141,9 +155,10 @@ func (b *Block) Hash() crypto.Hash {
 	e.U64(b.Justify.View)
 	e.Bytes32(b.Justify.Block)
 	e.Node(b.Leader)
-	payload := wire.Marshal(b.Payload)
-	e.Bytes32(crypto.HashBytes(payload))
-	return crypto.HashBytes(e.Bytes())
+	e.Bytes32(crypto.HashBytes(b.payloadEnc.Frame(b.Payload)))
+	b.hash = crypto.HashBytes(e.Bytes())
+	b.hashSet = true
+	return b.hash
 }
 
 // Proposal carries a block from its leader to all replicas.
@@ -160,7 +175,7 @@ func (m *Proposal) Type() wire.Type { return TypeProposal }
 func (m *Proposal) WireSize() int {
 	b := m.Block
 	return wire.FrameOverhead + 8 + 8 + 32 + b.Justify.EncodedSize() +
-		4 + 4 + b.Payload.WireSize() + wire.SizeVarBytes(b.Sig)
+		4 + 4 + b.payloadEnc.FrameSize(b.Payload) + wire.SizeVarBytes(b.Sig)
 }
 
 // EncodeBody implements wire.Message.
@@ -171,7 +186,7 @@ func (m *Proposal) EncodeBody(e *wire.Encoder) {
 	e.Bytes32(b.Parent)
 	b.Justify.EncodeTo(e)
 	e.Node(b.Leader)
-	e.VarBytes(wire.Marshal(b.Payload))
+	e.VarBytes(b.payloadEnc.Frame(b.Payload))
 	e.VarBytes(b.Sig)
 }
 
@@ -192,6 +207,9 @@ func decodeProposal(d *wire.Decoder) (wire.Message, error) {
 		return nil, err
 	}
 	b.Payload = payload
+	// The decoder copied raw, so the cache can own it: relaying or
+	// re-hashing the block reuses the received payload bytes.
+	b.payloadEnc.Prime(raw)
 	b.Sig = d.VarBytes()
 	return &Proposal{Block: b}, d.Err()
 }

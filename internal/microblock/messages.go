@@ -117,22 +117,31 @@ type Microblock struct {
 	PrevCert *Cert
 	Txs      []*types.Transaction
 	Sig      []byte
+
+	digest    crypto.Hash
+	digestSet bool
 }
 
 // Digest returns the microblock identity (excluding PrevCert and Sig, so
-// acks do not depend on the piggybacked certificate).
+// acks do not depend on the piggybacked certificate). The digest is
+// memoized: the simulator delivers the same pointer to every recipient,
+// and all identity fields are immutable once the microblock is sent, so
+// re-hashing per recipient (and per retry) would only rebuild the same
+// value.
 func (m *Microblock) Digest() crypto.Hash {
-	e := wire.NewEncoder(64)
+	if m.digestSet {
+		return m.digest
+	}
+	e := wire.NewEncoder(12 + 32*len(m.Txs))
 	e.Node(m.Producer)
 	e.U64(m.Seq)
-	root := make([]crypto.Hash, len(m.Txs))
-	for i, t := range m.Txs {
-		root[i] = t.Hash()
-	}
-	for _, h := range root {
+	for _, t := range m.Txs {
+		h := t.Hash()
 		e.Bytes32(h)
 	}
-	return crypto.HashBytes(e.Bytes())
+	m.digest = crypto.HashBytes(e.Bytes())
+	m.digestSet = true
+	return m.digest
 }
 
 var _ wire.Message = (*Microblock)(nil)
@@ -237,6 +246,9 @@ func decodeCertMsg(d *wire.Decoder) (wire.Message, error) {
 type IDList struct {
 	Height uint64
 	IDs    []crypto.Hash
+
+	digest    crypto.Hash
+	digestSet bool
 }
 
 var _ wire.Message = (*IDList)(nil)
@@ -272,14 +284,21 @@ func decodeIDList(d *wire.Decoder) (wire.Message, error) {
 	return m, d.Err()
 }
 
-// Digest returns the payload identity.
+// Digest returns the payload identity, memoized for the same reason as
+// Microblock.Digest: the list is immutable once proposed and every
+// replica (per consensus phase) would recompute the identical value.
 func (m *IDList) Digest() crypto.Hash {
+	if m.digestSet {
+		return m.digest
+	}
 	e := wire.NewEncoder(8 + 32*len(m.IDs))
 	e.U64(m.Height)
 	for _, id := range m.IDs {
 		e.Bytes32(id)
 	}
-	return crypto.HashBytes(e.Bytes())
+	m.digest = crypto.HashBytes(e.Bytes())
+	m.digestSet = true
+	return m.digest
 }
 
 // MBRequest asks a peer for microblocks by id.

@@ -97,8 +97,15 @@ func (d *Distributor) OnBundleStored(b *core.Bundle) {
 	if d.ctx == nil || len(d.subscribers) == 0 {
 		return
 	}
-	set := d.cacheSet
-	if set == nil || d.cacheKey != b.Header.TxRoot {
+	// Resolve the stripe set: the bundle-attached cache first (another
+	// consensus node already encoded this exact bundle — encoding is
+	// deterministic in Txs, so the shards are identical), then the local
+	// StripeRoot-hook cache, then a fresh encode.
+	set, _ := b.StripeCache().(*StripeSet)
+	if set == nil && d.cacheSet != nil && d.cacheKey == b.Header.TxRoot {
+		set = d.cacheSet
+	}
+	if set == nil {
 		var err error
 		set, err = d.striper.Encode(b.Txs)
 		if err != nil {
@@ -106,6 +113,7 @@ func (d *Distributor) OnBundleStored(b *core.Bundle) {
 			return
 		}
 	}
+	b.SetStripeCache(set)
 	d.cacheSet, d.cacheKey = nil, crypto.ZeroHash
 	msg, err := set.Stripe(b.Header, int(d.self))
 	if err != nil {

@@ -36,6 +36,18 @@ type StripeMsg struct {
 	PayloadLen uint32
 	Shard      []byte
 	Proof      []crypto.Hash
+
+	// verified memoizes a successful Merkle-proof check. The simulator
+	// hands the same *StripeMsg to every recipient and messages are
+	// immutable once sent, so the proof needs checking once per stripe,
+	// not once per full node. Failures are never cached.
+	verified bool
+	// assembled memoizes the bundle reconstructed from a stripe set
+	// containing this message: every valid n_c−f subset reconstructs the
+	// same body (Reed–Solomon), and the result is checked against the
+	// header's commitments before caching, so the memo is value-identical
+	// for every node that could reassemble it.
+	assembled *core.Bundle
 }
 
 var _ wire.Message = (*StripeMsg)(nil)

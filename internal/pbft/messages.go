@@ -61,6 +61,11 @@ type PrePrepare struct {
 	Payload wire.Message
 	Leader  wire.NodeID
 	Sig     []byte
+
+	// payloadEnc memoizes the marshaled Payload frame so proposing to n
+	// replicas across three phases encodes the block once, not O(n) times
+	// — and so WireSize stops re-walking the payload on every Send.
+	payloadEnc wire.EncCache
 }
 
 var _ wire.Message = (*PrePrepare)(nil)
@@ -70,7 +75,7 @@ func (m *PrePrepare) Type() wire.Type { return TypePrePrepare }
 
 // WireSize implements wire.Message.
 func (m *PrePrepare) WireSize() int {
-	return wire.FrameOverhead + 8 + 8 + 32 + 4 + 4 + m.Payload.WireSize() + wire.SizeVarBytes(m.Sig)
+	return wire.FrameOverhead + 8 + 8 + 32 + 4 + 4 + m.payloadEnc.FrameSize(m.Payload) + wire.SizeVarBytes(m.Sig)
 }
 
 // EncodeBody implements wire.Message.
@@ -79,7 +84,7 @@ func (m *PrePrepare) EncodeBody(e *wire.Encoder) {
 	e.U64(m.Seq)
 	e.Bytes32(m.Digest)
 	e.Node(m.Leader)
-	e.VarBytes(wire.Marshal(m.Payload))
+	e.VarBytes(m.payloadEnc.Frame(m.Payload))
 	e.VarBytes(m.Sig)
 }
 
@@ -94,6 +99,9 @@ func decodePrePrepare(d *wire.Decoder) (wire.Message, error) {
 		return nil, err
 	}
 	m.Payload = payload
+	// The decoder copied raw out of the input, so the cache can own it:
+	// a relayed or re-encoded pre-prepare reuses the received bytes.
+	m.payloadEnc.Prime(raw)
 	m.Sig = d.VarBytes()
 	return m, d.Err()
 }
@@ -187,17 +195,21 @@ type PreparedEntry struct {
 	View    uint64
 	Digest  crypto.Hash
 	Payload wire.Message
+
+	// payloadEnc memoizes the marshaled Payload, shared across the
+	// view-change broadcast fan-out.
+	payloadEnc wire.EncCache
 }
 
 func (p *PreparedEntry) encodedSize() int {
-	return 8 + 8 + 32 + 4 + p.Payload.WireSize()
+	return 8 + 8 + 32 + 4 + p.payloadEnc.FrameSize(p.Payload)
 }
 
 func (p *PreparedEntry) encodeTo(e *wire.Encoder) {
 	e.U64(p.Seq)
 	e.U64(p.View)
 	e.Bytes32(p.Digest)
-	e.VarBytes(wire.Marshal(p.Payload))
+	e.VarBytes(p.payloadEnc.Frame(p.Payload))
 }
 
 func decodePreparedEntry(d *wire.Decoder) (*PreparedEntry, error) {
@@ -211,6 +223,7 @@ func decodePreparedEntry(d *wire.Decoder) (*PreparedEntry, error) {
 		return nil, err
 	}
 	p.Payload = payload
+	p.payloadEnc.Prime(raw)
 	return p, nil
 }
 

@@ -37,11 +37,9 @@
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"io"
 	"math/rand"
-	"sort"
 	"time"
 
 	"predis/internal/env"
@@ -121,44 +119,22 @@ type LinkLoad struct {
 	Bytes    uint64
 }
 
-// event is one scheduled callback.
-type event struct {
-	at   time.Time
-	seq  uint64 // tie-break for determinism
-	node wire.NodeID
-	fn   func()
-	// canceled supports Timer.Stop without heap surgery.
-	canceled bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
-}
-
 // Network is the simulator. It is not safe for concurrent use; drive it
 // from one goroutine.
 type Network struct {
-	cfg    Config
-	now    time.Time
-	seq    uint64
-	events eventHeap
-	nodes  map[wire.NodeID]*simNode
+	cfg Config
+	// now mirrors nowNs (nanoseconds since Epoch); the int64 form is what
+	// the event loop and NIC arithmetic use, the time.Time form is what
+	// env.Context exposes. Both always describe the same instant.
+	now   time.Time
+	nowNs int64
+	seq   uint64
+	q     eventQueue
+	nodes map[wire.NodeID]*simNode
+
+	// timerSlab bump-allocates simTimer handles in blocks so After
+	// amortizes to ~1/timerSlabSize allocations per call.
+	timerSlab []simTimer
 
 	// fault injection
 	crashed    map[wire.NodeID]bool
@@ -187,8 +163,10 @@ type simNode struct {
 	handler  env.Handler
 	rng      *rand.Rand
 	up, down Bandwidth
-	upFree   time.Time
-	downFree time.Time
+	// upFree/downFree are the times (ns since Epoch) at which each NIC
+	// finishes its currently reserved serialization work.
+	upFree   int64
+	downFree int64
 	started  bool
 
 	// cumulative NIC accounting (survives Restart — these are lifetime
@@ -235,7 +213,7 @@ func (n *Network) BytesSent() uint64 { return n.bytesSent }
 
 // QueueLen returns the number of events currently pending in the event
 // heap (including canceled timers that have not been popped yet).
-func (n *Network) QueueLen() int { return len(n.events) }
+func (n *Network) QueueLen() int { return n.q.len() }
 
 // NodeIDs returns every registered node ID in ascending order.
 func (n *Network) NodeIDs() []wire.NodeID {
@@ -276,11 +254,11 @@ func (n *Network) LinkLoads() []LinkLoad {
 	for k, b := range n.linkBytes {
 		out = append(out, LinkLoad{From: k.from, To: k.to, Bytes: b})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].From != out[j].From {
-			return out[i].From < out[j].From
+	sortBy(out, func(a, b LinkLoad) bool {
+		if a.From != b.From {
+			return a.From < b.From
 		}
-		return out[i].To < out[j].To
+		return a.To < b.To
 	})
 	return out
 }
@@ -303,8 +281,8 @@ func (n *Network) AddNodeRates(id wire.NodeID, h env.Handler, up, down Bandwidth
 		rng:      rand.New(rand.NewSource(n.cfg.Seed ^ (int64(id)+1)*0x5851f42d4c957f2d)),
 		up:       up,
 		down:     down,
-		upFree:   n.now,
-		downFree: n.now,
+		upFree:   n.nowNs,
+		downFree: n.nowNs,
 	}
 	n.nodes[id] = sn
 }
@@ -327,34 +305,69 @@ func (n *Network) Start() {
 }
 
 func sortNodeIDs(ids []wire.NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
+	sortBy(ids, func(a, b wire.NodeID) bool { return a < b })
+}
+
+// setNow advances virtual time to ns nanoseconds after the epoch,
+// keeping the time.Time mirror in sync.
+func (n *Network) setNow(ns int64) {
+	n.nowNs = ns
+	n.now = Epoch.Add(time.Duration(ns))
+}
+
+// dispatch runs one (non-canceled) event. The event is still owned by
+// the caller, which recycles it after dispatch returns.
+func (n *Network) dispatch(ev *event) {
+	switch ev.kind {
+	case evDeliver:
+		if n.crashed[ev.node] || n.crashed[ev.from] {
+			// Sender or receiver died while the message was in flight.
+			n.drops.Crashed++
+			return
 		}
+		msg := ev.msg
+		if n.cfg.CopyOnDeliver {
+			cp, err := wire.Roundtrip(msg)
+			if err != nil {
+				panic(fmt.Sprintf("simnet: roundtrip %s: %v", wire.TypeName(msg.Type()), err))
+			}
+			msg = cp
+		}
+		n.delivered++
+		if n.OnDeliver != nil {
+			n.OnDeliver(ev.from, ev.node, msg, n.now)
+		}
+		ev.dst.handler.Receive(ev.from, msg)
+	case evTimer:
+		if !n.crashed[ev.node] {
+			ev.fn()
+		}
+	default:
+		ev.fn()
 	}
 }
 
 // Run processes events until the virtual deadline (relative to the epoch)
 // passes or the event queue drains. It returns the number of events run.
 func (n *Network) Run(until time.Duration) int {
-	deadline := Epoch.Add(until)
+	deadline := int64(until)
 	count := 0
-	for len(n.events) > 0 {
-		ev := n.events[0]
-		if ev.at.After(deadline) {
-			n.now = deadline
+	for n.q.len() > 0 {
+		ev := n.q.head()
+		if ev.at > deadline {
+			n.setNow(deadline)
 			return count
 		}
-		heap.Pop(&n.events)
-		if ev.canceled {
-			continue
+		n.q.popHead()
+		if !ev.canceled {
+			n.setNow(ev.at)
+			n.dispatch(ev)
+			count++
 		}
-		n.now = ev.at
-		ev.fn()
-		count++
+		n.q.recycle(ev)
 	}
-	if n.now.Before(deadline) {
-		n.now = deadline
+	if n.nowNs < deadline {
+		n.setNow(deadline)
 	}
 	return count
 }
@@ -364,14 +377,14 @@ func (n *Network) Run(until time.Duration) int {
 // quiesces. maxEvents bounds runaway protocols; 0 means no bound.
 func (n *Network) RunUntilIdle(maxEvents int) int {
 	count := 0
-	for len(n.events) > 0 {
-		ev := heap.Pop(&n.events).(*event)
-		if ev.canceled {
-			continue
+	for n.q.len() > 0 {
+		ev := n.q.popHead()
+		if !ev.canceled {
+			n.setNow(ev.at)
+			n.dispatch(ev)
+			count++
 		}
-		n.now = ev.at
-		ev.fn()
-		count++
+		n.q.recycle(ev)
 		if maxEvents > 0 && count >= maxEvents {
 			break
 		}
@@ -379,14 +392,21 @@ func (n *Network) RunUntilIdle(maxEvents int) int {
 	return count
 }
 
-// schedule enqueues an event at absolute time t.
-func (n *Network) schedule(at time.Time, node wire.NodeID, fn func()) *event {
-	if at.Before(n.now) {
-		at = n.now
+// schedule enqueues an event at ns nanoseconds after the epoch (clamped
+// to now), taking a recycled event from the free list when one is
+// available: in steady state scheduling allocates nothing.
+func (n *Network) schedule(ns int64, node wire.NodeID, kind eventKind, fn func()) *event {
+	if ns < n.nowNs {
+		ns = n.nowNs
 	}
 	n.seq++
-	ev := &event{at: at, seq: n.seq, node: node, fn: fn}
-	heap.Push(&n.events, ev)
+	ev := n.q.alloc()
+	ev.at = ns
+	ev.seq = n.seq
+	ev.node = node
+	ev.kind = kind
+	ev.fn = fn
+	n.q.push(ev)
 	return ev
 }
 
@@ -411,15 +431,12 @@ func (n *Network) Restart(id wire.NodeID) {
 	if !ok {
 		return
 	}
-	sn.upFree = n.now
-	sn.downFree = n.now
+	sn.upFree = n.nowNs
+	sn.downFree = n.nowNs
 	if r, ok := sn.handler.(env.Restartable); ok {
-		n.schedule(n.now, id, func() {
-			if n.crashed[id] {
-				return // re-crashed before the restart event ran
-			}
-			r.OnRestart()
-		})
+		// evTimer dispatch already suppresses the callback if the node
+		// re-crashed before the restart event ran.
+		n.schedule(n.nowNs, id, evTimer, r.OnRestart)
 	}
 }
 
@@ -430,7 +447,7 @@ func (n *Network) Restart(id wire.NodeID) {
 // protocol events. The callback runs on the simulator goroutine and is
 // not tied to any node (it fires even if every node is crashed).
 func (n *Network) At(d time.Duration, fn func()) {
-	n.schedule(Epoch.Add(d), wire.NoNode, fn)
+	n.schedule(int64(d), wire.NoNode, evGeneric, fn)
 }
 
 // Crashed reports whether a node is currently crashed.
@@ -492,10 +509,10 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	net.bytesSent += uint64(size)
 	s.bytesUp += uint64(size)
 	net.linkBytes[linkKey{s.id, to}] += uint64(size)
-	sendStart := later(net.now, s.upFree)
-	sendEnd := sendStart.Add(txTime(size, s.up))
+	sendStart := later(net.nowNs, s.upFree)
+	sendEnd := sendStart + int64(txTime(size, s.up))
 	s.upFree = sendEnd
-	s.upBusy += sendEnd.Sub(sendStart)
+	s.upBusy += time.Duration(sendEnd - sendStart)
 
 	dst, ok := net.nodes[to]
 	if !ok {
@@ -519,67 +536,48 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 		return
 	}
 
-	lat := net.latency(s.id, to)
+	lat := int64(net.latency(s.id, to))
 	// Downlink serialization with cut-through: reception can begin once the
 	// first bits arrive and the NIC is free.
-	recvStart := later(sendStart.Add(lat), dst.downFree)
-	recvEnd := recvStart.Add(txTime(size, dst.down))
+	recvStart := later(sendStart+lat, dst.downFree)
+	recvEnd := recvStart + int64(txTime(size, dst.down))
 	dst.downFree = recvEnd
-	dst.downBusy += recvEnd.Sub(recvStart)
+	dst.downBusy += time.Duration(recvEnd - recvStart)
 	dst.bytesDown += uint64(size)
-	deliverAt := later(recvEnd, sendEnd.Add(lat))
+	deliverAt := later(recvEnd, sendEnd+lat)
 
-	from := s.id
-	net.schedule(deliverAt, to, func() {
-		if net.crashed[to] || net.crashed[from] {
-			net.drops.Crashed++
-			return
-		}
-		msg := m
-		if net.cfg.CopyOnDeliver {
-			cp, err := wire.Roundtrip(m)
-			if err != nil {
-				panic(fmt.Sprintf("simnet: roundtrip %s: %v", wire.TypeName(m.Type()), err))
-			}
-			msg = cp
-		}
-		net.delivered++
-		if net.OnDeliver != nil {
-			net.OnDeliver(from, to, msg, net.now)
-		}
-		dst.handler.Receive(from, msg)
-	})
+	// Closure-free delivery: the message and endpoints ride in the event
+	// itself, so Send allocates nothing in steady state.
+	ev := net.schedule(deliverAt, to, evDeliver, nil)
+	ev.msg = m
+	ev.from = s.id
+	ev.dst = dst
 }
 
-// After implements env.Context.
+// After implements env.Context. The crash guard lives in evTimer
+// dispatch rather than a wrapper closure, and the returned handle is
+// bump-allocated from a slab, so steady-state timer churn costs
+// ~1/timerSlabSize allocations per call.
 func (s *simNode) After(d time.Duration, fn func()) env.Timer {
 	if d < 0 {
 		d = 0
 	}
 	net := s.net
-	id := s.id
-	ev := net.schedule(net.now.Add(d), id, func() {
-		if net.crashed[id] {
-			return
-		}
-		fn()
-	})
-	return (*simTimer)(ev)
+	ev := net.schedule(net.nowNs+int64(d), s.id, evTimer, fn)
+	return net.newTimer(ev)
 }
 
-type simTimer event
-
-// Stop implements env.Timer.
-func (t *simTimer) Stop() bool {
-	if t.canceled {
-		return false
+// newTimer hands out a simTimer handle snapshotting ev's generation.
+func (n *Network) newTimer(ev *event) *simTimer {
+	if len(n.timerSlab) == cap(n.timerSlab) {
+		n.timerSlab = make([]simTimer, 0, timerSlabSize)
 	}
-	t.canceled = true
-	return true
+	n.timerSlab = append(n.timerSlab, simTimer{ev: ev, gen: ev.gen})
+	return &n.timerSlab[len(n.timerSlab)-1]
 }
 
-func later(a, b time.Time) time.Time {
-	if a.After(b) {
+func later(a, b int64) int64 {
+	if a > b {
 		return a
 	}
 	return b

@@ -134,13 +134,7 @@ const MaxBodyLen = 64 << 20
 //
 //	[type:2][bodyLen:4][body]
 func Marshal(m Message) []byte {
-	e := NewEncoder(m.WireSize())
-	e.U16(uint16(m.Type()))
-	lenAt := e.Skip(4)
-	m.EncodeBody(e)
-	body := len(e.buf) - lenAt - 4
-	e.PatchU32(lenAt, uint32(body))
-	return e.Bytes()
+	return MarshalAppend(make([]byte, 0, m.WireSize()), m)
 }
 
 // Unmarshal decodes one frame from the front of data and returns the message
@@ -175,16 +169,14 @@ func Unmarshal(data []byte) (Message, int, error) {
 	return m, FrameOverhead + bodyLen, nil
 }
 
-// Roundtrip marshals then unmarshals a message; it is a test helper that
-// lives here so every protocol package can assert codec fidelity.
+// Roundtrip marshals then unmarshals a message. It began life as a test
+// helper but is also the simulator's copy-on-deliver path, so the
+// intermediate frame lives in a pooled scratch buffer: decoding copies
+// every retained byte, which makes immediate reuse safe.
 func Roundtrip(m Message) (Message, error) {
-	raw := Marshal(m)
-	out, n, err := Unmarshal(raw)
-	if err != nil {
-		return nil, err
-	}
-	if n != len(raw) {
-		return nil, fmt.Errorf("wire: roundtrip consumed %d of %d bytes", n, len(raw))
-	}
-	return out, nil
+	e := getEncoder()
+	out, buf, err := RoundtripAppend(e.buf, m)
+	e.buf = buf
+	putEncoder(e)
+	return out, err
 }

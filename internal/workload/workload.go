@@ -161,8 +161,20 @@ type pendingTx struct {
 	lastSent  time.Time
 	target    int // index into Targets of the last submission
 	resubmits int
-	replies   map[wire.NodeID]struct{}
+	replies   []wire.NodeID // distinct repliers so far (quorum is small: F+1)
 	done      bool
+}
+
+// addReply records a distinct replier. The quorum is tiny (F+1), so a
+// linear scan over a lazily grown slice beats a per-transaction map both
+// in allocation count and in lookup cost.
+func (p *pendingTx) addReply(id wire.NodeID) {
+	for _, r := range p.replies {
+		if r == id {
+			return
+		}
+	}
+	p.replies = append(p.replies, id)
 }
 
 var _ env.Handler = (*Client)(nil)
@@ -258,7 +270,6 @@ func (c *Client) submitOne(now time.Time) {
 		tx:        tx,
 		submitted: now,
 		lastSent:  now,
-		replies:   make(map[wire.NodeID]struct{}, c.cfg.F+1),
 	}
 	c.pending[c.seq] = p
 	// Anchor the submit stage; the first consensus node to receive the
@@ -295,7 +306,7 @@ func (c *Client) Receive(from wire.NodeID, m wire.Message) {
 		if !ok || p.done {
 			continue
 		}
-		p.replies[reply.Replica] = struct{}{}
+		p.addReply(reply.Replica)
 		if len(p.replies) >= c.cfg.F+1 {
 			p.done = true
 			if c.cfg.Collector != nil {

@@ -113,7 +113,7 @@ func TestClientConfirmsAtQuorum(t *testing.T) {
 	net.Start()
 	// Submit one tx manually by driving the client's internals through a
 	// simulated reply exchange: inject replies for a fabricated pending tx.
-	cl.pending[7] = &pendingTx{submitted: net.Now(), replies: map[wire.NodeID]struct{}{}}
+	cl.pending[7] = &pendingTx{submitted: net.Now()}
 	cl.Receive(1, &types.BlockReply{Height: 1, Replica: 1, Seqs: []uint64{7}})
 	if len(cl.pending) != 1 {
 		t.Fatal("one reply must not confirm with f=1")
@@ -191,7 +191,6 @@ func inject(cl *Client, seq uint64, target int, done bool) {
 		lastSent:  simnet.Epoch,
 		target:    target,
 		done:      done,
-		replies:   map[wire.NodeID]struct{}{},
 	}
 }
 

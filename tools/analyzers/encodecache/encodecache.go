@@ -1,0 +1,89 @@
+// Package encodecache flags re-marshaling of nested messages inside
+// codec methods. A wire.Marshal (or wire.MarshalAppend) call inside an
+// EncodeBody or WireSize method re-encodes the nested payload every time
+// the enclosing message is framed — and consensus messages are framed
+// once per phase per recipient, so a bundle-carrying proposal pays the
+// full payload encode O(n_c) times per round. The encode-once cache
+// (wire.EncCache) exists precisely for this: marshal the payload once,
+// emit the cached frame with Frame/FrameSize, and invalidate on
+// mutation.
+package encodecache
+
+import (
+	"go/ast"
+
+	"predis/tools/analyzers/analysis"
+)
+
+// WirePath is the import path of the codec package.
+const WirePath = "predis/internal/wire"
+
+// Analyzer is the encode-once check.
+var Analyzer = &analysis.Analyzer{
+	Name: "encodecache",
+	Doc: "EncodeBody/WireSize must not call wire.Marshal on nested payloads; " +
+		"route the encoding through wire.EncCache so it runs once, not once " +
+		"per phase per recipient",
+	Run: run,
+}
+
+// checkedMethods are the codec entry points that run on every frame (and,
+// for WireSize, on every simulated Send).
+var checkedMethods = map[string]bool{
+	"EncodeBody": true,
+	"WireSize":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.PkgPath == WirePath {
+		// The codec itself implements Marshal and the EncCache fallback.
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		if pass.IsTestFile(f) {
+			continue // benchmarks/tests may marshal freely
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || !checkedMethods[fd.Name.Name] || fd.Body == nil {
+				continue
+			}
+			method := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := wireMarshalCall(pass, call)
+				if !ok {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"wire.%s inside %s re-encodes the nested payload on every frame; "+
+						"cache the encoding with wire.EncCache (Frame/FrameSize) instead",
+					name, method)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// wireMarshalCall reports whether the call resolves to
+// predis/internal/wire.Marshal or .MarshalAppend, returning the function
+// name.
+func wireMarshalCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "Marshal" && name != "MarshalAppend" {
+		return "", false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != WirePath {
+		return "", false
+	}
+	return name, true
+}

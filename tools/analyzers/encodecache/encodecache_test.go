@@ -1,0 +1,13 @@
+package encodecache_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/encodecache"
+)
+
+func TestEncodecacheFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{encodecache.Analyzer}, "./encodecache")
+}

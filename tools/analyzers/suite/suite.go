@@ -5,6 +5,7 @@ package suite
 import (
 	"predis/tools/analyzers/analysis"
 	"predis/tools/analyzers/determinism"
+	"predis/tools/analyzers/encodecache"
 	"predis/tools/analyzers/errchecklite"
 	"predis/tools/analyzers/lockorder"
 	"predis/tools/analyzers/wiresym"
@@ -14,6 +15,7 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
+		encodecache.Analyzer,
 		errchecklite.Analyzer,
 		lockorder.Analyzer,
 		wiresym.Analyzer,

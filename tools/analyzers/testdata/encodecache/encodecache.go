@@ -1,0 +1,64 @@
+// Package encodecache is the fixture for the encodecache analyzer:
+// Wrapped re-marshals its payload inside EncodeBody and WireSize (both
+// flagged); Cached routes the same payload through wire.EncCache (clean);
+// helper code outside the codec methods may call wire.Marshal freely.
+package encodecache
+
+import "predis/internal/wire"
+
+const (
+	typeInner   wire.Type = wire.TypeRangeTest + 201
+	typeWrapped wire.Type = wire.TypeRangeTest + 202
+	typeCached  wire.Type = wire.TypeRangeTest + 203
+)
+
+// Inner is a payload message nested inside the carriers below.
+type Inner struct{ N uint64 }
+
+func (m *Inner) Type() wire.Type            { return typeInner }
+func (m *Inner) WireSize() int              { return wire.FrameOverhead + 8 }
+func (m *Inner) EncodeBody(e *wire.Encoder) { e.U64(m.N) }
+
+// Wrapped re-encodes its payload on every frame: the pattern the
+// analyzer exists to catch.
+type Wrapped struct{ Payload *Inner }
+
+func (m *Wrapped) Type() wire.Type { return typeWrapped }
+
+func (m *Wrapped) WireSize() int {
+	return wire.FrameOverhead + 4 + len(wire.Marshal(m.Payload)) // want "wire.Marshal inside WireSize re-encodes the nested payload"
+}
+
+func (m *Wrapped) EncodeBody(e *wire.Encoder) {
+	e.VarBytes(wire.Marshal(m.Payload)) // want "wire.Marshal inside EncodeBody re-encodes the nested payload"
+}
+
+// Cached is the sanctioned shape: the payload frame is memoized in an
+// EncCache and both codec methods read the cache.
+type Cached struct {
+	Payload    *Inner
+	payloadEnc wire.EncCache
+}
+
+func (m *Cached) Type() wire.Type { return typeCached }
+
+func (m *Cached) WireSize() int {
+	return wire.FrameOverhead + 4 + m.payloadEnc.FrameSize(m.Payload)
+}
+
+func (m *Cached) EncodeBody(e *wire.Encoder) {
+	e.VarBytes(m.payloadEnc.Frame(m.Payload))
+}
+
+// Snapshot marshals outside the codec methods — allowed (ledger export,
+// hashing, tests all do this legitimately).
+func Snapshot(m *Cached) []byte { return wire.Marshal(m) }
+
+// MarshalAppendInBody exercises the MarshalAppend variant of the check.
+type MarshalAppendInBody struct{ Payload *Inner }
+
+func (m *MarshalAppendInBody) Type() wire.Type { return typeCached + 10 }
+func (m *MarshalAppendInBody) WireSize() int   { return wire.FrameOverhead }
+func (m *MarshalAppendInBody) EncodeBody(e *wire.Encoder) {
+	e.VarBytes(wire.MarshalAppend(nil, m.Payload)) // want "wire.MarshalAppend inside EncodeBody re-encodes the nested payload"
+}

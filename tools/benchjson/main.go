@@ -1,0 +1,171 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document so kernel benchmark results can be committed and diffed
+// (BENCH_kernels.json, emitted by `make bench`).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem | go run ./tools/benchjson -o BENCH_kernels.json
+//
+// It parses the standard benchmark line format
+//
+//	BenchmarkName-8   1000   1234 ns/op   56.7 MB/s   128 B/op   2 allocs/op
+//
+// plus the goos/goarch/pkg/cpu header lines, and ignores everything
+// else (PASS/ok lines, test logs). The output is deterministic for a
+// given input: results appear in input order and no timestamps are
+// recorded.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	MBPerSec    *float64           `json:"mb_per_s,omitempty"`
+	BytesPerOp  *int64             `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64             `json:"allocs_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the emitted document.
+type Doc struct {
+	GOOS    string   `json:"goos,omitempty"`
+	GOARCH  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stderr))
+}
+
+func run(argv []string, in io.Reader, errw io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	out := fs.String("o", "BENCH_kernels.json", "output JSON path (- for stdout)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	doc, err := Parse(in)
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	if len(doc.Results) == 0 {
+		fmt.Fprintln(errw, "benchjson: no benchmark lines found in input")
+		return 1
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(errw, "benchjson:", err)
+		return 1
+	}
+	return 0
+}
+
+// Parse reads `go test -bench` output and collects header context plus
+// every benchmark result line.
+func Parse(in io.Reader) (*Doc, error) {
+	doc := &Doc{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if r, ok := parseLine(line); ok {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine parses one benchmark result line; it reports false for
+// lines that merely start with "Benchmark" (e.g. log output).
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
+	sawNs := false
+	// Remaining fields come in (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			sawNs = true
+		case "MB/s":
+			mv := v
+			r.MBPerSec = &mv
+		case "B/op":
+			bv := int64(v)
+			r.BytesPerOp = &bv
+		case "allocs/op":
+			av := int64(v)
+			r.AllocsPerOp = &av
+		default:
+			// Custom metrics from b.ReportMetric (e.g. peak_fig5wan).
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	if !sawNs {
+		return Result{}, false
+	}
+	return r, true
+}
+
+// trimProcSuffix strips the -GOMAXPROCS suffix from a benchmark name so
+// the JSON keys are stable across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

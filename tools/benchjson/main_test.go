@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: predis
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimnetSendDrain-4    	  100000	        73.21 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWireMarshal-4        	    5000	     15299 ns/op	1674.46 MB/s	   27288 B/op	       2 allocs/op
+BenchmarkFig5WAN              	       1	123456789 ns/op	     21000 peak_fig5wan
+some test log line
+PASS
+ok  	predis	1.234s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" || doc.Pkg != "predis" {
+		t.Fatalf("header: %+v", doc)
+	}
+	if !strings.Contains(doc.CPU, "Xeon") {
+		t.Fatalf("cpu: %q", doc.CPU)
+	}
+	if len(doc.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "BenchmarkSimnetSendDrain" { // -4 suffix stripped
+		t.Fatalf("name: %q", r.Name)
+	}
+	if r.Iterations != 100000 || r.NsPerOp != 73.21 {
+		t.Fatalf("result 0: %+v", r)
+	}
+	if r.AllocsPerOp == nil || *r.AllocsPerOp != 0 {
+		t.Fatalf("allocs: %+v", r.AllocsPerOp)
+	}
+	m := doc.Results[1]
+	if m.MBPerSec == nil || *m.MBPerSec != 1674.46 {
+		t.Fatalf("mb/s: %+v", m)
+	}
+	if m.BytesPerOp == nil || *m.BytesPerOp != 27288 {
+		t.Fatalf("B/op: %+v", m)
+	}
+	f := doc.Results[2]
+	if f.Name != "BenchmarkFig5WAN" || f.Extra["peak_fig5wan"] != 21000 {
+		t.Fatalf("custom metric: %+v", f)
+	}
+}
+
+func TestParseIgnoresNonBenchLines(t *testing.T) {
+	doc, err := Parse(strings.NewReader("Benchmark this is not a result\nnothing here\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("parsed garbage: %+v", doc.Results)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkX-8":         "BenchmarkX",
+		"BenchmarkX":           "BenchmarkX",
+		"BenchmarkSplit-Y":     "BenchmarkSplit-Y",
+		"BenchmarkSplit-Y-16":  "BenchmarkSplit-Y",
+		"BenchmarkTrailing-":   "BenchmarkTrailing-",
+		"Benchmark-12abc":      "Benchmark-12abc",
+		"BenchmarkNoSuffix-0x": "BenchmarkNoSuffix-0x",
+	} {
+		if got := trimProcSuffix(in); got != want {
+			t.Errorf("trimProcSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
