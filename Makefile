@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint test race fmt bench bench-kernels bench-smoke trace-smoke ci
+.PHONY: all build vet lint test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke ci
 
 # The kernel micro-benchmark set (bench_kernels_test.go at the repo
 # root): simnet scheduling, wire framing, erasure coding, merkle, and
@@ -41,11 +41,36 @@ bench:
 		| go run ./tools/benchjson -o BENCH_kernels.json
 	@echo wrote BENCH_kernels.json
 
+# bench-e2e: end-to-end wall-clock benchmarks (bench_e2e_test.go) over
+# whole experiments at compute-pool worker counts 0/1/4, converted to
+# BENCH_e2e.json so the offload speedup (the workers=0 vs workers=4
+# ratio of the same experiment) is committed and diffable. The "cpus"
+# metric in each row records how much hardware parallelism was
+# available when the numbers were taken.
+bench-e2e:
+	go test -run '^$$' -bench 'BenchmarkE2E' -benchmem . \
+		| go run ./tools/benchjson -o BENCH_e2e.json
+	@echo wrote BENCH_e2e.json
+
 # bench-smoke: the CI gate — every kernel benchmark must run (once) and
-# the benchjson converter must accept the output.
+# the benchjson converter must accept the output. The E2E set rides
+# along at one iteration so regressions in experiment wiring surface
+# here, not only in the slower `make bench-e2e`.
 bench-smoke:
 	go test -run '^$$' -bench '$(KERNEL_BENCH)' -benchtime=1x -benchmem . \
 		| go run ./tools/benchjson -o /dev/null
+	go test -run '^$$' -bench 'BenchmarkE2E' -benchtime=1x . \
+		| go run ./tools/benchjson -o /dev/null
+
+# replay-smoke: the compute-plane determinism gate — the replay hash,
+# delivery count, and experiment results must be byte-identical across
+# -workers 0/1/4, both in-process and across child processes (re-exec),
+# with the race detector watching the pool. Also replays quickstart via
+# predis-bench at -workers 4 -parallel 2 and diffs its replay hash
+# against a -workers 0 run of the same binary.
+replay-smoke:
+	go test -race -run 'TestReplayWorkers' ./internal/harness/
+	go run ./tools/replaydiff
 
 # trace-smoke: run the quickstart experiment with -trace and validate the
 # emitted Chrome trace JSON parses and records at least one span for every
@@ -57,4 +82,4 @@ trace-smoke:
 	go run ./tools/tracecheck bin/trace-smoke.json
 	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
 
-ci: fmt build vet lint race trace-smoke bench-smoke
+ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke

@@ -32,8 +32,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"predis/internal/compute"
 	"predis/internal/harness"
 )
 
@@ -46,10 +49,14 @@ type cli struct {
 	quick      bool
 	seed       int64
 	parallel   int
+	workers    int
+	replay     bool
 	trace      bool
 	traceOut   string
 	metrics    bool
 	metricsOut string
+	cpuProfile string
+	memProfile string
 }
 
 // parse accepts flags and positionals in any order: the flag package
@@ -61,6 +68,10 @@ func parse(argv []string) (cli, []string, error) {
 	fs.BoolVar(&c.quick, "quick", false, "shrink durations and sweeps (~1 minute total)")
 	fs.Int64Var(&c.seed, "seed", 1, "simulation seed")
 	fs.IntVar(&c.parallel, "parallel", 1, "run up to N independent experiment points concurrently (results are identical to -parallel 1)")
+	fs.IntVar(&c.workers, "workers", 0, "offload pure crypto/erasure work inside each point to N pool workers (0 = inline; results and replay hashes are identical for any N)")
+	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.BoolVar(&c.replay, "replay", false, "print the delivery replay hash for supporting experiments (quickstart, recovery); identical across -workers/-parallel settings")
 	fs.BoolVar(&c.trace, "trace", false, "write Chrome trace-event JSON for supporting experiments")
 	fs.StringVar(&c.traceOut, "trace-out", "", "trace output path (default <id>-trace.json)")
 	fs.BoolVar(&c.metrics, "metrics", false, "write stage/metric/sample CSVs for supporting experiments")
@@ -89,7 +100,36 @@ func run(argv []string) int {
 		usage()
 		return 2
 	}
-	opts := harness.Options{Quick: c.quick, Seed: c.seed, Workers: c.parallel}
+	if c.cpuProfile != "" {
+		f, err := os.Create(c.cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predis-bench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "predis-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if c.memProfile != "" {
+		defer func() {
+			f, err := os.Create(c.memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "predis-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "predis-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
+	pool := compute.NewPool(c.workers)
+	defer pool.Close()
+	opts := harness.Options{Quick: c.quick, Seed: c.seed, Workers: c.parallel, Compute: pool}
 
 	switch args[0] {
 	case "list":
@@ -134,6 +174,11 @@ func runOne(e harness.Experiment, opts harness.Options, c cli) int {
 		sink = &harness.ObsSink{}
 		opts.Obs = sink
 	}
+	var replay *harness.ReplayTrace
+	if c.replay {
+		replay = harness.NewReplayTrace()
+		opts.Replay = replay
+	}
 	start := time.Now()
 	tables, err := e.Run(opts)
 	if err != nil {
@@ -142,6 +187,13 @@ func runOne(e harness.Experiment, opts harness.Options, c cli) int {
 	}
 	for _, t := range tables {
 		fmt.Println(t.Render())
+	}
+	if replay != nil {
+		if n := replay.Deliveries(); n > 0 {
+			fmt.Printf("replay %s %s %d\n", e.ID, replay.Sum(), n)
+		} else {
+			fmt.Printf("replay %s unsupported\n", e.ID)
+		}
 	}
 	if sink != nil {
 		if code := export(e.ID, sink, c); code != 0 {
@@ -241,9 +293,17 @@ Flags:
   -parallel N    run up to N experiment points concurrently (wall-clock
                  only; every point owns its own simulation, so results
                  and replay hashes match -parallel 1 exactly)
+  -workers N     offload pure crypto/erasure work inside each point to a
+                 pool of N workers (0 = inline; composes with -parallel;
+                 results and replay hashes are identical for any N)
   -trace         write Chrome trace-event JSON + stage-latency CSV
   -trace-out P   trace output path (default <id>-trace.json)
   -metrics       write stage/metric/sample/link CSVs
   -metrics-out P CSV path prefix (default <id>)
+  -replay        print "replay <id> <sha256> <deliveries>" for supporting
+                 experiments (quickstart, recovery); the hash is identical
+                 for any -workers/-parallel setting
+  -cpuprofile P  write a CPU profile (inspect with go tool pprof)
+  -memprofile P  write a heap profile at exit
 `)
 }

@@ -1,0 +1,47 @@
+package crypto
+
+import "testing"
+
+// TestHashBatchMatchesHashBytes: every slot must equal the per-element
+// digest, for nil dst (allocated) and caller-provided dst (reused).
+func TestHashBatchMatchesHashBytes(t *testing.T) {
+	srcs := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("predis"),
+		make([]byte, 4096),
+	}
+	got := HashBatch(nil, srcs)
+	if len(got) != len(srcs) {
+		t.Fatalf("HashBatch(nil) returned %d digests, want %d", len(got), len(srcs))
+	}
+	for i, s := range srcs {
+		if got[i] != HashBytes(s) {
+			t.Fatalf("digest %d differs from HashBytes", i)
+		}
+	}
+
+	dst := make([]Hash, len(srcs))
+	out := HashBatch(dst, srcs)
+	if &out[0] != &dst[0] {
+		t.Fatal("HashBatch allocated a new slice instead of filling the provided dst")
+	}
+	for i := range srcs {
+		if out[i] != got[i] {
+			t.Fatalf("digest %d differs between provided-dst and nil-dst paths", i)
+		}
+	}
+}
+
+// TestHashBatchEmpty: zero inputs yield a zero-length (possibly nil)
+// result and touch nothing.
+func TestHashBatchEmpty(t *testing.T) {
+	if got := HashBatch(nil, nil); len(got) != 0 {
+		t.Fatalf("HashBatch(nil, nil) returned %d digests, want 0", len(got))
+	}
+	dst := make([]Hash, 0, 4)
+	if got := HashBatch(dst, [][]byte{}); len(got) != 0 {
+		t.Fatalf("HashBatch(dst, empty) returned %d digests, want 0", len(got))
+	}
+}

@@ -1,0 +1,85 @@
+package env
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelEmpty: n = 0 must invoke fn zero times and return
+// immediately for any worker count, including degenerate ones.
+func TestParallelEmpty(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 4} {
+		calls := 0
+		Parallel(0, workers, func(i int) { calls++ })
+		if calls != 0 {
+			t.Fatalf("workers=%d: fn called %d times for n=0", workers, calls)
+		}
+	}
+}
+
+// TestParallelSequentialFallback: workers ≤ 1 (including 0 and negative)
+// must degrade to a plain in-order sequential loop.
+func TestParallelSequentialFallback(t *testing.T) {
+	for _, workers := range []int{-3, 0, 1} {
+		var order []int
+		Parallel(5, workers, func(i int) { order = append(order, i) })
+		if len(order) != 5 {
+			t.Fatalf("workers=%d: got %d calls, want 5", workers, len(order))
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("workers=%d: call %d got index %d; sequential fallback must preserve order", workers, i, v)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersExceedN: workers > n must still call every index
+// exactly once (the pool is capped at n; no goroutine may receive an
+// out-of-range or duplicate index).
+func TestParallelWorkersExceedN(t *testing.T) {
+	const n = 3
+	var mu sync.Mutex
+	counts := make([]int, n)
+	Parallel(n, 64, func(i int) {
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d called %d times, want exactly once", i, c)
+		}
+	}
+}
+
+// TestParallelCoversAllIndices: with a genuinely concurrent pool every
+// index in a larger range is visited exactly once.
+func TestParallelCoversAllIndices(t *testing.T) {
+	const n = 100
+	var mu sync.Mutex
+	counts := make([]int, n)
+	Parallel(n, 4, func(i int) {
+		mu.Lock()
+		counts[i]++
+		mu.Unlock()
+	})
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d called %d times, want exactly once", i, c)
+		}
+	}
+}
+
+// TestParallelDistinctIndexWrites pins the documented contract that
+// distinct-index writes to a caller-owned slice need no locking.
+func TestParallelDistinctIndexWrites(t *testing.T) {
+	const n = 64
+	out := make([]int, n)
+	Parallel(n, 8, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// makeSets builds n encode-ready shard sets (data filled from a seeded
+// RNG, parity zeroed) for a coder with the given geometry.
+func makeSets(t *testing.T, c *Coder, n, shardSize int, seed int64) [][][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sets := make([][][]byte, n)
+	for s := range sets {
+		shards := make([][]byte, c.TotalShards())
+		for i := range shards {
+			shards[i] = make([]byte, shardSize)
+			if i < c.DataShards() {
+				rng.Read(shards[i])
+			}
+		}
+		sets[s] = shards
+	}
+	return sets
+}
+
+// TestEncodeBatchMatchesEncode: EncodeBatch must produce byte-identical
+// parity to calling Encode on each set individually, across geometries.
+func TestEncodeBatchMatchesEncode(t *testing.T) {
+	geoms := []struct{ data, parity int }{{3, 1}, {6, 2}, {10, 4}}
+	for _, g := range geoms {
+		c, err := New(g.data, g.parity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := makeSets(t, c, 5, 97, int64(g.data*100+g.parity))
+		// Reference: per-set Encode over deep copies of the data shards.
+		ref := make([][][]byte, len(batch))
+		for s, shards := range batch {
+			cp := make([][]byte, len(shards))
+			for i, sh := range shards {
+				cp[i] = append([]byte(nil), sh...)
+			}
+			if err := c.Encode(cp); err != nil {
+				t.Fatalf("(%d,%d) Encode set %d: %v", g.data, g.parity, s, err)
+			}
+			ref[s] = cp
+		}
+		if err := c.EncodeBatch(batch); err != nil {
+			t.Fatalf("(%d,%d) EncodeBatch: %v", g.data, g.parity, err)
+		}
+		for s := range batch {
+			for i := range batch[s] {
+				if !bytes.Equal(batch[s][i], ref[s][i]) {
+					t.Fatalf("(%d,%d) set %d shard %d: EncodeBatch differs from Encode",
+						g.data, g.parity, s, i)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeBatchEmpty: an empty batch is a no-op, not an error.
+func TestEncodeBatchEmpty(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EncodeBatch(nil); err != nil {
+		t.Fatalf("EncodeBatch(nil) = %v, want nil", err)
+	}
+	if err := c.EncodeBatch([][][]byte{}); err != nil {
+		t.Fatalf("EncodeBatch(empty) = %v, want nil", err)
+	}
+}
+
+// TestEncodeBatchValidatesUpFront: a malformed set anywhere in the batch
+// fails the whole call before any parity is written, so earlier valid
+// sets are not half-encoded.
+func TestEncodeBatchValidatesUpFront(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := makeSets(t, c, 3, 64, 7)
+	batch[2][5] = batch[2][5][:32] // inconsistent shard size in the last set
+	if err := c.EncodeBatch(batch); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("EncodeBatch with bad set = %v, want ErrShardSize", err)
+	}
+	for i := c.DataShards(); i < c.TotalShards(); i++ {
+		if !bytes.Equal(batch[0][i], make([]byte, 64)) {
+			t.Fatalf("set 0 parity shard %d written despite failed validation", i)
+		}
+	}
+	batch2 := makeSets(t, c, 2, 64, 8)
+	batch2[1] = batch2[1][:3] // wrong shard count
+	if err := c.EncodeBatch(batch2); !errors.Is(err, ErrShardCount) {
+		t.Fatalf("EncodeBatch with short set = %v, want ErrShardCount", err)
+	}
+}

@@ -81,9 +81,47 @@ func (c *Coder) Encode(shards [][]byte) error {
 	return nil
 }
 
+// EncodeBatch encodes many shard sets with a single walk of the
+// encoding matrix: the parity-row loop is hoisted outside the batch
+// loop, so each row's coefficient vector is resolved once per batch
+// rather than once per set, and the row kernels run back to back over
+// contiguous shard memory. Every set must satisfy Encode's contract;
+// the result is byte-identical to calling Encode on each set.
+func (c *Coder) EncodeBatch(batch [][][]byte) error {
+	for _, shards := range batch {
+		if err := c.checkShards(shards, true); err != nil {
+			return err
+		}
+	}
+	for p := 0; p < c.parity; p++ {
+		row := c.enc.row(c.data + p)
+		for _, shards := range batch {
+			out := shards[c.data+p]
+			mulSet(out, shards[0], row[0])
+			for d := 1; d < c.data; d++ {
+				mulAndAdd(out, shards[d], row[d])
+			}
+		}
+	}
+	return nil
+}
+
 // Reconstruct fills in nil shards in place. At least `data` shards must be
 // present. Present shards are never modified.
 func (c *Coder) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+// ReconstructData is Reconstruct restricted to the data shards: missing
+// parity shards are left nil. Callers that only Join the payload back
+// together (bundle reassembly) skip the parity recompute entirely —
+// with f parity shards lost that saves f full matrix rows of GF math
+// per bundle.
+func (c *Coder) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+func (c *Coder) reconstruct(shards [][]byte, parity bool) error {
 	if len(shards) != c.TotalShards() {
 		return fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.TotalShards())
 	}
@@ -105,6 +143,18 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 	}
 	if present < c.data {
 		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, present, c.data)
+	}
+	if !parity {
+		missingData := false
+		for d := 0; d < c.data; d++ {
+			if shards[d] == nil {
+				missingData = true
+				break
+			}
+		}
+		if !missingData {
+			return nil // all data present; parity not wanted
+		}
 	}
 	if size <= 0 {
 		return ErrShortData
@@ -137,6 +187,9 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 			mulAndAdd(out, srcRows[k], row[k])
 		}
 		shards[d] = out
+	}
+	if !parity {
+		return nil
 	}
 	// Recompute missing parity shards from the (now complete) data shards.
 	for p := 0; p < c.parity; p++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"predis/internal/compute"
 	"predis/internal/stats"
 )
 
@@ -23,6 +24,21 @@ type Options struct {
 	// simnet.Network, so per-point results and replay hashes are
 	// unaffected). 0 or 1 means sequential.
 	Workers int
+	// Compute, when active, is the intra-point compute pool: pure
+	// crypto/erasure kernels are offloaded to it and joined only at
+	// deterministic points, so per-point results, terminal output, and
+	// replay hashes are identical for any pool, including nil (fully
+	// inline). It composes with Workers: concurrently running points
+	// share the one pool.
+	Compute *compute.Pool
+	// Replay, when non-nil, is attached to the network of experiments
+	// that support it (quickstart, recovery): every delivery is folded
+	// into the trace so external callers (predis-bench -replay,
+	// tools/replaydiff) can assert cross-process hash equality. The
+	// sweep experiments leave it untouched — their points run
+	// concurrently under Workers, so a single shared trace would fold
+	// deliveries in nondeterministic order.
+	Replay *ReplayTrace
 }
 
 func (o Options) seed() int64 {

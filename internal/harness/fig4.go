@@ -62,6 +62,7 @@ func fig4SizeVariants(o Options, baseline, predis System, title string) ([]*stat
 			BatchSize:  v.batch,
 			Duration:   fig4Duration(o),
 			Seed:       o.seed(),
+			Compute:    o.Compute,
 		}
 		ts, ls, err := LoadSweep(base, fig4Loads(o, v.bundle > 0), 1)
 		if err != nil {
@@ -119,6 +120,7 @@ func fig4Scalability(o Options, baseline, predis System, title string) ([]*stats
 				Clients:  nc,
 				Duration: fig4Duration(o),
 				Seed:     o.seed(),
+				Compute:  o.Compute,
 			})
 		}
 	}

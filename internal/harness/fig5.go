@@ -29,6 +29,7 @@ func fig5(o Options, wan bool, title string) ([]*stats.Table, error) {
 			BundleSize: 50,
 			Duration:   duration,
 			Seed:       o.seed(),
+			Compute:    o.Compute,
 		}
 		ts, ls, err := LoadSweep(base, loads, 1)
 		if err != nil {

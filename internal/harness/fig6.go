@@ -60,6 +60,7 @@ func Fig6(o Options) ([]*stats.Table, error) {
 				Duration: duration,
 				Seed:     o.seed(),
 				Faults:   faults,
+				Compute:  o.Compute,
 			})
 		}
 	}

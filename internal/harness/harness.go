@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"predis/internal/compute"
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
@@ -69,6 +70,10 @@ type PointSpec struct {
 	// Trace, when non-nil, folds every delivery into a replay hash so
 	// tests can assert two same-seed runs are byte-identical.
 	Trace *ReplayTrace
+	// Compute, when active, offloads pure crypto/erasure work inside the
+	// simulated point; results and replay hashes are identical for any
+	// pool, including nil.
+	Compute *compute.Pool
 }
 
 func (s *PointSpec) withDefaults() PointSpec {
@@ -125,6 +130,7 @@ func RunPoint(spec PointSpec) (PointResult, error) {
 		Downlink: simnet.Mbps100,
 		Latency:  latency,
 		Seed:     s.Seed,
+		Compute:  s.Compute,
 	})
 	if s.Trace != nil {
 		s.Trace.Attach(net)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"predis/internal/compute"
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/faults"
@@ -44,6 +45,9 @@ type recoverySpec struct {
 	// experiment can render a per-stage latency breakdown around the
 	// crash window.
 	obsTrace *obs.Tracer
+	// pool, when active, is the intra-point compute pool (replay hashes
+	// are pool-invariant).
+	pool *compute.Pool
 }
 
 // recoveryResult is one run's outcome.
@@ -72,6 +76,7 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 	net := simnet.New(simnet.Config{
 		Uplink: simnet.Mbps100, Downlink: simnet.Mbps100,
 		Latency: simnet.LANLatency(), Seed: spec.seed,
+		Compute: spec.pool,
 	})
 
 	if spec.trace != nil {
@@ -288,6 +293,7 @@ func Recovery(o Options) ([]*stats.Table, error) {
 		bucket:    500 * time.Millisecond,
 		seed:      o.seed(),
 		crashFrom: 6 * time.Second, crashTo: 9 * time.Second,
+		pool: o.Compute,
 	}
 	if o.Quick {
 		spec.perZone = 4
@@ -317,6 +323,7 @@ func Recovery(o Options) ([]*stats.Table, error) {
 	for _, sc := range scenarios {
 		s := spec
 		s.victimConsensus = sc.consensus
+		s.trace = o.Replay // scenarios run sequentially: folding both is deterministic
 		s.obsTrace = obs.NewTracer(simnet.Epoch)
 		res, err := runRecovery(s)
 		if err != nil {

@@ -35,6 +35,20 @@ func HashLeaf(data []byte) crypto.Hash {
 	return crypto.HashConcat(leafPrefix, data)
 }
 
+// HashLeaves fills dst[i] = HashLeaf(leaves[i]) and returns dst,
+// allocating it when nil. It is the batched leaf kernel: one call per
+// stripe set or transaction list, and — because each index writes only
+// its own slot — a natural unit to fork-join over a compute pool.
+func HashLeaves(dst []crypto.Hash, leaves [][]byte) []crypto.Hash {
+	if dst == nil {
+		dst = make([]crypto.Hash, len(leaves))
+	}
+	for i, l := range leaves {
+		dst[i] = HashLeaf(l)
+	}
+	return dst
+}
+
 // hashNode combines two child digests.
 func hashNode(l, r crypto.Hash) crypto.Hash {
 	return crypto.HashConcat(nodePrefix, l[:], r[:])
@@ -87,11 +101,7 @@ type Tree struct {
 
 // NewTree builds a tree over the leaf payloads.
 func NewTree(leaves [][]byte) *Tree {
-	hashes := make([]crypto.Hash, len(leaves))
-	for i, l := range leaves {
-		hashes[i] = HashLeaf(l)
-	}
-	return NewTreeFromHashes(hashes)
+	return NewTreeFromHashes(HashLeaves(nil, leaves))
 }
 
 // NewTreeFromHashes builds a tree over pre-hashed leaves (see HashLeaf).

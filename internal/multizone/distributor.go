@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"predis/internal/compute"
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
@@ -27,7 +28,11 @@ type Distributor struct {
 
 	subscribers map[wire.NodeID]bool
 	lastSeen    map[wire.NodeID]time.Time
-	maxSubs     int
+	// subsSorted memoizes the ascending-ID view of subscribers so the
+	// per-bundle and per-block fan-outs do not re-sort an unchanged set;
+	// any mutation of subscribers nils it (see subsChanged).
+	subsSorted []wire.NodeID
+	maxSubs    int
 	// ttl expires subscribers that stopped heartbeating (0 disables); a
 	// crashed relayer would otherwise receive stripes forever.
 	ttl time.Duration
@@ -70,8 +75,12 @@ func (d *Distributor) SetSubscriberTTL(ttl time.Duration) { d.ttl = ttl }
 // SetTrace arms lifecycle tracing (nil disables it).
 func (d *Distributor) SetTrace(tr *obs.Tracer) { d.trace = tr }
 
-// Start records the runtime context (call from the host's Start).
-func (d *Distributor) Start(ctx env.Context) { d.ctx = ctx }
+// Start records the runtime context (call from the host's Start) and
+// hands the runtime's compute pool to the striper.
+func (d *Distributor) Start(ctx env.Context) {
+	d.ctx = ctx
+	d.striper.SetPool(compute.PoolOf(ctx))
+}
 
 // Subscribers returns the current subscriber count.
 func (d *Distributor) Subscribers() int { return len(d.subscribers) }
@@ -147,24 +156,36 @@ func (d *Distributor) OnBlockCommit(blk *core.PredisBlock) {
 	}
 }
 
+// subsChanged invalidates the memoized sorted-subscriber view; every
+// mutation of d.subscribers must call it.
+func (d *Distributor) subsChanged() { d.subsSorted = nil }
+
 // liveSubscribers expires stale subscribers (when a TTL is set) and
 // returns the survivors in ascending ID order, so map iteration never
-// affects wire traffic.
+// affects wire traffic. The sorted view is memoized across calls: fan-out
+// runs once per bundle and once per block, so rebuilding it only when the
+// subscriber set actually changes removes an alloc+sort from the hot
+// path. Callers must not retain or mutate the returned slice.
 func (d *Distributor) liveSubscribers() []wire.NodeID {
-	out := make([]wire.NodeID, 0, len(d.subscribers))
-	now := d.ctx.Now()
-	for id := range d.subscribers {
-		if d.ttl > 0 {
+	if d.ttl > 0 {
+		now := d.ctx.Now()
+		for id := range d.subscribers {
 			if seen, ok := d.lastSeen[id]; ok && now.Sub(seen) > d.ttl {
 				delete(d.subscribers, id)
 				delete(d.lastSeen, id)
-				continue
+				d.subsChanged()
 			}
 		}
-		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	if d.subsSorted == nil {
+		out := make([]wire.NodeID, 0, len(d.subscribers))
+		for id := range d.subscribers {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		d.subsSorted = out
+	}
+	return d.subsSorted
 }
 
 // Receive handles zone-plane control messages addressed to the consensus
@@ -176,6 +197,7 @@ func (d *Distributor) Receive(from wire.NodeID, m wire.Message) {
 		d.onSubscribe(from, msg)
 	case *Unsubscribe:
 		delete(d.subscribers, from)
+		d.subsChanged()
 	case *Heartbeat:
 		// Liveness only.
 	default:
@@ -205,6 +227,7 @@ func (d *Distributor) onSubscribe(from wire.NodeID, m *Subscribe) {
 		return
 	}
 	d.subscribers[from] = true
+	d.subsChanged()
 	d.ctx.Send(from, &AcceptSubscribe{
 		Stripes:       []uint8{uint8(d.self)},
 		FromConsensus: true,

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"predis/internal/compute"
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
@@ -125,6 +126,7 @@ type FullNode struct {
 	pendingSub   map[uint8]wire.NodeID          // outstanding subscribe requests
 	subscribers  map[uint8]map[wire.NodeID]bool // who we forward each stripe to
 	subCount     int                            // total subscriptions accepted
+	subsSorted   []wire.NodeID                  // memoized sortedSubscribers view; nil = dirty
 	consensusDir map[uint8]bool                 // stripes we take straight from consensus (our "relayed stripes")
 	isRelayer    bool
 	zoneRelayers map[wire.NodeID]*relayerInfo
@@ -218,6 +220,7 @@ func (f *FullNode) Mempool() *core.Mempool { return f.mp }
 // Algorithm 1.
 func (f *FullNode) Start(ctx env.Context) {
 	f.ctx = ctx
+	f.cfg.Striper.SetPool(compute.PoolOf(ctx))
 	f.bootstrap()
 	f.armAlive()
 	f.armHeartbeat()
@@ -394,6 +397,7 @@ func (f *FullNode) onSubscribe(from wire.NodeID, m *Subscribe) {
 		if !f.subscribers[s][from] {
 			f.subscribers[s][from] = true
 			f.subCount++
+			f.subsChanged()
 		}
 		accepted = append(accepted, s)
 	}
@@ -446,6 +450,7 @@ func (f *FullNode) onUnsubscribe(from wire.NodeID, m *Unsubscribe) {
 		if subs := f.subscribers[s]; subs != nil && subs[from] {
 			delete(subs, from)
 			f.subCount--
+			f.subsChanged()
 		}
 	}
 }
@@ -702,6 +707,7 @@ func (f *FullNode) armHeartbeat() {
 				if seen, ok := f.lastSeen[id]; ok && now.Sub(seen) > 3*f.cfg.HeartbeatInterval {
 					delete(subs, id)
 					f.subCount--
+					f.subsChanged()
 				}
 			}
 			if len(subs) == 0 {
@@ -712,21 +718,31 @@ func (f *FullNode) armHeartbeat() {
 	})
 }
 
+// subsChanged invalidates the memoized sorted-subscriber view; every
+// mutation of f.subscribers must call it.
+func (f *FullNode) subsChanged() { f.subsSorted = nil }
+
 // sortedSubscribers returns the distinct subscriber IDs across all stripes
-// in ascending order (deterministic fan-out helper).
+// in ascending order (deterministic fan-out helper). The view is memoized
+// between subscription changes: block fan-out, heartbeats, and digests all
+// walk it, so rebuilding the dedup map + sort per call shows up in
+// profiles. Callers must not retain or mutate the returned slice.
 func (f *FullNode) sortedSubscribers() []wire.NodeID {
-	seen := make(map[wire.NodeID]bool, f.subCount)
-	out := make([]wire.NodeID, 0, f.subCount)
-	for _, subs := range f.subscribers {
-		for id := range subs {
-			if !seen[id] {
-				seen[id] = true
-				out = append(out, id)
+	if f.subsSorted == nil {
+		seen := make(map[wire.NodeID]bool, f.subCount)
+		out := make([]wire.NodeID, 0, f.subCount)
+		for _, subs := range f.subscribers {
+			for id := range subs {
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
 			}
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		f.subsSorted = out
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return f.subsSorted
 }
 
 // Leave announces departure and hands relayer duty to the earliest

@@ -1,0 +1,117 @@
+package multizone
+
+import (
+	"testing"
+	"time"
+
+	"predis/internal/node"
+	"predis/internal/simnet"
+	"predis/internal/wire"
+)
+
+// sameBacking reports whether two non-empty slices share a backing array
+// (the memoization witness: an unchanged set must not be rebuilt).
+func sameBacking(a, b []wire.NodeID) bool {
+	return len(a) > 0 && len(b) > 0 && &a[0] == &b[0]
+}
+
+func idsEqual(got []wire.NodeID, want ...wire.NodeID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDistributorLiveSubscribersMemoized: the sorted fan-out view is
+// rebuilt only when the subscriber set changes — subscribe, unsubscribe,
+// and TTL expiry each invalidate it; repeated fan-outs in between reuse
+// the same slice.
+func TestDistributorLiveSubscribersMemoized(t *testing.T) {
+	node.RegisterAllMessages()
+	RegisterMessages()
+	striper, _ := NewStriper(4, 1)
+	net := simnet.New(simnet.Config{Latency: simnet.UniformLatency(time.Millisecond)})
+	d := NewDistributor(2, 4, striper, 0)
+	distHost := &distHandler{d: d}
+	net.AddNode(2, distHost)
+	for _, id := range []wire.NodeID{50, 51, 52} {
+		net.AddNode(id, &recHandler{onRecv: func(wire.NodeID, wire.Message) {}})
+	}
+	net.Start()
+
+	distHost.inject(51, &Subscribe{Stripes: []uint8{2}})
+	distHost.inject(50, &Subscribe{Stripes: []uint8{2}})
+	s1 := d.liveSubscribers()
+	if !idsEqual(s1, 50, 51) {
+		t.Fatalf("liveSubscribers = %v, want [50 51] (ascending, map-order independent)", s1)
+	}
+	if s2 := d.liveSubscribers(); !sameBacking(s1, s2) {
+		t.Fatal("unchanged subscriber set was rebuilt between fan-outs")
+	}
+
+	// Subscribe invalidates.
+	distHost.inject(52, &Subscribe{Stripes: []uint8{2}})
+	if s := d.liveSubscribers(); !idsEqual(s, 50, 51, 52) {
+		t.Fatalf("after subscribe liveSubscribers = %v, want [50 51 52]", s)
+	}
+
+	// Unsubscribe invalidates.
+	distHost.inject(51, &Unsubscribe{Stripes: []uint8{2}})
+	s3 := d.liveSubscribers()
+	if !idsEqual(s3, 50, 52) {
+		t.Fatalf("after unsubscribe liveSubscribers = %v, want [50 52]", s3)
+	}
+	if s4 := d.liveSubscribers(); !sameBacking(s3, s4) {
+		t.Fatal("unchanged set rebuilt after unsubscribe settled")
+	}
+
+	// TTL expiry invalidates: advance virtual time past the TTL with no
+	// heartbeats; the next fan-out view must be empty.
+	d.SetSubscriberTTL(100 * time.Millisecond)
+	net.Run(time.Second)
+	if s := d.liveSubscribers(); len(s) != 0 {
+		t.Fatalf("after TTL expiry liveSubscribers = %v, want empty", s)
+	}
+	if d.Subscribers() != 0 {
+		t.Fatalf("Subscribers = %d after expiry, want 0", d.Subscribers())
+	}
+}
+
+// TestFullNodeSortedSubscribersMemoized: the full node's deduped sorted
+// view is memoized between subscription changes and invalidated by
+// unsubscribe handling.
+func TestFullNodeSortedSubscribersMemoized(t *testing.T) {
+	f := &FullNode{
+		subscribers: map[uint8]map[wire.NodeID]bool{
+			0: {201: true, 105: true},
+			1: {105: true, 300: true}, // 105 subscribes to two stripes: deduped
+		},
+		subCount: 4,
+	}
+	s1 := f.sortedSubscribers()
+	if !idsEqual(s1, 105, 201, 300) {
+		t.Fatalf("sortedSubscribers = %v, want [105 201 300] (deduped, ascending)", s1)
+	}
+	if s2 := f.sortedSubscribers(); !sameBacking(s1, s2) {
+		t.Fatal("unchanged subscriber set was rebuilt between calls")
+	}
+
+	// Unsubscribe 105 from stripe 1 only: still subscribed via stripe 0.
+	f.onUnsubscribe(105, &Unsubscribe{Stripes: []uint8{1}})
+	if s := f.sortedSubscribers(); !idsEqual(s, 105, 201, 300) {
+		t.Fatalf("after partial unsubscribe = %v, want [105 201 300]", s)
+	}
+	// Unsubscribe 105 from stripe 0 too: now gone.
+	f.onUnsubscribe(105, &Unsubscribe{Stripes: []uint8{0}})
+	if s := f.sortedSubscribers(); !idsEqual(s, 201, 300) {
+		t.Fatalf("after full unsubscribe = %v, want [201 300]", s)
+	}
+	if f.subCount != 2 {
+		t.Fatalf("subCount = %d, want 2", f.subCount)
+	}
+}

@@ -71,6 +71,7 @@ func (f *FullNode) OnRestart() {
 	f.pendingSub = make(map[uint8]wire.NodeID)
 	f.subscribers = make(map[uint8]map[wire.NodeID]bool)
 	f.subCount = 0
+	f.subsChanged()
 	f.consensusDir = make(map[uint8]bool)
 	f.isRelayer = false
 	f.zoneRelayers = make(map[wire.NodeID]*relayerInfo)

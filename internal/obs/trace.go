@@ -184,11 +184,17 @@ func (t *Tracer) Spans() []Span {
 }
 
 // StageDurations returns the closed-span durations of one stage, sorted
-// ascending (ready for percentiles).
+// ascending (ready for percentiles). It scans the raw recording order
+// rather than the sorted Spans() view: the duration multiset is
+// order-independent, and the final ascending sort makes the result
+// deterministic without paying for a full span sort per stage.
 func (t *Tracer) StageDurations(stage Stage) []time.Duration {
+	if t == nil {
+		return nil
+	}
 	var out []time.Duration
-	for _, sp := range t.Spans() {
-		if sp.Stage == stage {
+	for _, sp := range t.order {
+		if !sp.open && sp.Stage == stage {
 			out = append(out, sp.Duration())
 		}
 	}

@@ -50,13 +50,24 @@ func (m *BlockData) WireSize() int {
 	return wire.FrameOverhead + size
 }
 
+// zeroPad is a shared read-only buffer for synthetic block padding, so
+// encoding a BlockData does not allocate its payload every time. It is
+// never written after initialisation, so concurrent encoders (independent
+// simulations under -parallel) can slice it freely.
+var zeroPad = make([]byte, 64<<10)
+
 // EncodeBody implements wire.Message.
 func (m *BlockData) EncodeBody(e *wire.Encoder) {
 	e.U64(m.Height)
 	e.Node(m.Origin)
 	e.U32(m.Size)
-	if pad := int(m.Size) - blockDataMin; pad > 0 {
-		e.Raw(make([]byte, pad))
+	for pad := int(m.Size) - blockDataMin; pad > 0; {
+		n := pad
+		if n > len(zeroPad) {
+			n = len(zeroPad)
+		}
+		e.Raw(zeroPad[:n])
+		pad -= n
 	}
 }
 

@@ -58,15 +58,35 @@ func NewTransaction(client wire.NodeID, seq uint64, size uint32, submitted time.
 // covers the real fields only (padding is deterministic).
 func (t *Transaction) Hash() crypto.Hash {
 	if !t.hashSet {
-		var buf [txFixedLen]byte
-		binary.BigEndian.PutUint32(buf[0:], uint32(t.Client))
-		binary.BigEndian.PutUint64(buf[4:], t.Seq)
-		binary.BigEndian.PutUint32(buf[12:], t.Size)
-		binary.BigEndian.PutUint64(buf[16:], uint64(t.Submitted))
-		t.hash = crypto.HashBytes(buf[:])
+		t.hash = t.HashStateless()
 		t.hashSet = true
 	}
 	return t.hash
+}
+
+// HashStateless computes the transaction identity without reading or
+// writing the memo, so it is safe to call from compute-pool workers
+// while the event loop concurrently memoizes Hash() on the same
+// transaction (the memo fields are disjoint from the identity fields).
+func (t *Transaction) HashStateless() crypto.Hash {
+	var buf [txFixedLen]byte
+	binary.BigEndian.PutUint32(buf[0:], uint32(t.Client))
+	binary.BigEndian.PutUint64(buf[4:], t.Seq)
+	binary.BigEndian.PutUint32(buf[12:], t.Size)
+	binary.BigEndian.PutUint64(buf[16:], uint64(t.Submitted))
+	return crypto.HashBytes(buf[:])
+}
+
+// PrimeHash installs a hash computed elsewhere (a compute-pool worker
+// via HashStateless) into the memo. Call it only from the goroutine
+// that owns the transaction's memo — in the simulator, the event loop
+// at a deterministic join point — and only with the value
+// HashStateless returns; an already-set memo is left untouched.
+func (t *Transaction) PrimeHash(h crypto.Hash) {
+	if !t.hashSet {
+		t.hash = h
+		t.hashSet = true
+	}
 }
 
 // EncodedSize returns the wire size of the transaction body (no frame).

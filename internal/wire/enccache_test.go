@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEncCacheFrameMemoizes: the first Frame call encodes, later calls
+// return the identical cached slice without re-encoding.
+func TestEncCacheFrameMemoizes(t *testing.T) {
+	m := sampleMsg()
+	var c EncCache
+	if c.Cached() {
+		t.Fatal("zero-value cache claims to hold a frame")
+	}
+	f1 := c.Frame(m)
+	if !c.Cached() {
+		t.Fatal("Frame did not populate the cache")
+	}
+	if !bytes.Equal(f1, Marshal(m)) {
+		t.Fatal("cached frame differs from Marshal")
+	}
+	f2 := c.Frame(m)
+	if &f1[0] != &f2[0] {
+		t.Fatal("second Frame call re-encoded instead of returning the cached slice")
+	}
+}
+
+// TestEncCacheFrameSizeWithoutEncode: FrameSize on a cold cache memoizes
+// WireSize without materializing a frame; after Frame it reports the
+// encoded length.
+func TestEncCacheFrameSizeWithoutEncode(t *testing.T) {
+	m := sampleMsg()
+	var c EncCache
+	if got, want := c.FrameSize(m), m.WireSize(); got != want {
+		t.Fatalf("cold FrameSize = %d, want WireSize %d", got, want)
+	}
+	if c.Cached() {
+		t.Fatal("FrameSize must not force an encode")
+	}
+	f := c.Frame(m)
+	if got := c.FrameSize(m); got != len(f) {
+		t.Fatalf("warm FrameSize = %d, want len(frame) %d", got, len(f))
+	}
+}
+
+// TestEncCacheInvalidate: Invalidate drops both frame and size, so a
+// mutation of the message is reflected by the next Frame/FrameSize.
+func TestEncCacheInvalidate(t *testing.T) {
+	m := sampleMsg()
+	var c EncCache
+	_ = c.Frame(m)
+	m.Blob = []byte("a much longer payload than before")
+	if got := c.FrameSize(m); got == m.WireSize() {
+		t.Fatal("stale cache unexpectedly matches mutated message; test setup broken")
+	}
+	c.Invalidate()
+	if c.Cached() {
+		t.Fatal("Invalidate left a cached frame")
+	}
+	if got, want := c.FrameSize(m), m.WireSize(); got != want {
+		t.Fatalf("post-Invalidate FrameSize = %d, want %d", got, want)
+	}
+	if !bytes.Equal(c.Frame(m), Marshal(m)) {
+		t.Fatal("post-Invalidate Frame does not match the mutated message")
+	}
+}
+
+// TestEncCachePrime: a primed frame is served verbatim (the decoder's
+// copy becomes the re-encode), and Invalidate + re-Prime replaces it.
+func TestEncCachePrime(t *testing.T) {
+	m := sampleMsg()
+	raw := Marshal(m)
+	var c EncCache
+	c.Prime(raw)
+	if !c.Cached() {
+		t.Fatal("Prime did not populate the cache")
+	}
+	f := c.Frame(m)
+	if &f[0] != &raw[0] {
+		t.Fatal("Frame re-encoded instead of serving the primed frame")
+	}
+	if got := c.FrameSize(m); got != len(raw) {
+		t.Fatalf("FrameSize = %d, want primed length %d", got, len(raw))
+	}
+
+	// Invalidate then re-Prime with a different encoding of the message.
+	c.Invalidate()
+	m.Name = "reprimed"
+	raw2 := Marshal(m)
+	c.Prime(raw2)
+	f2 := c.Frame(m)
+	if &f2[0] != &raw2[0] {
+		t.Fatal("re-Prime after Invalidate did not install the new frame")
+	}
+	if got := c.FrameSize(m); got != len(raw2) {
+		t.Fatalf("FrameSize after re-Prime = %d, want %d", got, len(raw2))
+	}
+}

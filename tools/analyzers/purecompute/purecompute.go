@@ -1,0 +1,247 @@
+// Package purecompute enforces the compute-plane purity contract: a
+// closure handed to the worker pool (compute.Go, Pool.Map) runs off the
+// event loop, so it may only derive values from immutable data captured
+// at launch time. Anything else — simulator state, the runtime context,
+// clocks, RNGs, lazily-memoizing accessors — either races with the event
+// loop or makes the result depend on scheduling, breaking the
+// worker-count-invariance guarantee (same replay hashes for -workers 0,
+// 1, 4, ...).
+//
+// The check is syntactic over the function-literal argument at the
+// offload call site (helpers the literal calls are not traversed; they
+// are covered when the analyzer visits their own package if they offload
+// themselves). Inside an offloaded literal it rejects:
+//
+//   - any use of a value whose type comes from internal/env or
+//     internal/simnet (the runtime context and the simulator);
+//   - wall-clock reads (time.Now and friends) and math/rand;
+//   - calls to the lazily-memoizing accessors Hash, Digest, VerifyBody,
+//     and Force — workers must use the *Stateless variants and leave
+//     memo installation to the event-loop join point;
+//   - nested Pool.Map or compute.Go calls — a worker blocking in a join
+//     while its helpers sit behind other blocked workers deadlocks the
+//     pool;
+//   - raw go statements (workers must not spawn goroutines).
+package purecompute
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"predis/tools/analyzers/analysis"
+)
+
+// Analyzer is the compute-plane purity check.
+var Analyzer = &analysis.Analyzer{
+	Name: "purecompute",
+	Doc: "forbid simnet/env state, clocks, RNGs, memoizing accessors, and " +
+		"nested offloads inside closures handed to the compute pool",
+	Run: run,
+}
+
+// memoizers are method names whose call sites write lazily-memoized
+// fields; calling them from a worker races with the event loop. The
+// *Stateless variants (HashStateless, ...) are the worker-safe spellings.
+var memoizers = map[string]string{
+	"Hash":       "HashStateless",
+	"Digest":     "a stateless digest helper",
+	"VerifyBody": "the precomputed spec joined on the event loop",
+	"Force":      "forcing only at event-loop join points",
+}
+
+// forbiddenTime are time package functions that read the wall clock.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Syntax {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, lit := range offloadedLiterals(pass, call) {
+				checkLiteral(pass, lit)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// offloadedLiterals returns the function literals that call hands to the
+// compute pool: the task argument of compute.Go(p, fn) and the body
+// argument of (*compute.Pool).Map(n, fn).
+func offloadedLiterals(pass *analysis.Pass, call *ast.CallExpr) []*ast.FuncLit {
+	var lits []*ast.FuncLit
+	add := func(arg ast.Expr) {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			lits = append(lits, lit)
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.IndexExpr: // compute.Go[T](p, fn) with explicit instantiation
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok && isComputeGo(pass, sel) && len(call.Args) == 2 {
+			add(call.Args[1])
+		}
+	case *ast.SelectorExpr:
+		if isComputeGo(pass, fun) && len(call.Args) == 2 { // inferred compute.Go(p, fn)
+			add(call.Args[1])
+		}
+		if fun.Sel.Name == "Map" && isPoolType(pass.Info.Types[fun.X].Type) && len(call.Args) == 2 {
+			add(call.Args[1])
+		}
+	}
+	return lits
+}
+
+// isComputeGo reports whether sel names the compute package's Go.
+func isComputeGo(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Go" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pathHasComputeSegment(pn.Imported().Path())
+}
+
+// isPoolType reports whether t is (a pointer to) compute.Pool.
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && pathHasComputeSegment(obj.Pkg().Path())
+}
+
+// pathHasComputeSegment matches both the real module path
+// (predis/internal/compute) and fixture stand-ins (…/computefix/compute).
+func pathHasComputeSegment(path string) bool {
+	return analysis.PathHasSegment(path, "compute")
+}
+
+// forbiddenStatePkg reports whether a type is declared in internal/env or
+// internal/simnet (fixture equivalents: any path segment env/simnet).
+func forbiddenStatePkg(t types.Type) string {
+	named, ok := deref(t).(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	switch {
+	case analysis.PathHasSegment(path, "env"):
+		return "env"
+	case analysis.PathHasSegment(path, "simnet"):
+		return "simnet"
+	}
+	return ""
+}
+
+func deref(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+func checkLiteral(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(),
+				"go statement inside an offloaded closure; workers must not spawn goroutines")
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if v, ok := obj.(*types.Var); ok {
+				if pkg := forbiddenStatePkg(v.Type()); pkg != "" {
+					pass.Reportf(n.Pos(),
+						"offloaded closure touches %s state (%s); capture immutable values at launch time instead",
+						pkg, n.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkClosureCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkClosureCall(pass *analysis.Pass, call *ast.CallExpr) {
+	// Nested offloads deadlock the pool.
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Map" && isPoolType(pass.Info.Types[fun.X].Type) {
+			pass.Reportf(call.Pos(),
+				"Pool.Map inside an offloaded closure can deadlock the pool; fork-join only from the event loop")
+			return
+		}
+		if isComputeGo(pass, fun) {
+			pass.Reportf(call.Pos(),
+				"compute.Go inside an offloaded closure; offload only from the event loop")
+			return
+		}
+	case *ast.IndexExpr:
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok && isComputeGo(pass, sel) {
+			pass.Reportf(call.Pos(),
+				"compute.Go inside an offloaded closure; offload only from the event loop")
+			return
+		}
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	// Package-level calls: clocks and RNGs.
+	if id, isIdent := sel.X.(*ast.Ident); isIdent {
+		if pn, isPkg := pass.Info.Uses[id].(*types.PkgName); isPkg {
+			switch pn.Imported().Path() {
+			case "time":
+				if forbiddenTime[sel.Sel.Name] {
+					pass.Reportf(call.Pos(),
+						"time.%s inside an offloaded closure; pure compute may not read clocks",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(call.Pos(),
+					"math/rand inside an offloaded closure; pure compute may not consume RNGs")
+			}
+			return
+		}
+	}
+	// Method calls: lazily-memoizing accessors race with the event loop.
+	if tv, okType := pass.Info.Types[sel.X]; okType && tv.Type != nil {
+		if repl, bad := memoizers[sel.Sel.Name]; bad && !strings.HasSuffix(sel.Sel.Name, "Stateless") {
+			// Only methods (receiver is a value, not a package) reach here.
+			pass.Reportf(call.Pos(),
+				"%s() memoizes lazily and may race with the event loop inside an offloaded closure; use %s",
+				sel.Sel.Name, repl)
+		}
+	}
+}

@@ -1,0 +1,13 @@
+package purecompute_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/purecompute"
+)
+
+func TestPurecomputeFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{purecompute.Analyzer}, "./purecompute")
+}

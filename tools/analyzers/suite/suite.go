@@ -8,6 +8,7 @@ import (
 	"predis/tools/analyzers/encodecache"
 	"predis/tools/analyzers/errchecklite"
 	"predis/tools/analyzers/lockorder"
+	"predis/tools/analyzers/purecompute"
 	"predis/tools/analyzers/wiresym"
 )
 
@@ -18,6 +19,7 @@ func All() []*analysis.Analyzer {
 		encodecache.Analyzer,
 		errchecklite.Analyzer,
 		lockorder.Analyzer,
+		purecompute.Analyzer,
 		wiresym.Analyzer,
 	}
 }

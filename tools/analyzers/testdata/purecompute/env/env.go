@@ -1,0 +1,13 @@
+// Package env is a stand-in for the runtime-context package: the
+// purecompute analyzer matches it by import-path segment, exactly as it
+// matches the real internal/env.
+package env
+
+import "time"
+
+// Context mimics the runtime context surface offloaded closures must
+// never touch.
+type Context interface {
+	Send(to uint32, m any)
+	Now() time.Time
+}

@@ -1,0 +1,66 @@
+// Package purecompute is the positive/negative fixture for the
+// purecompute analyzer: every line marked `want` must be flagged, and
+// nothing else may be.
+package purecompute
+
+import (
+	"math/rand"
+	"time"
+
+	"predis/internal/compute"
+	fixenv "predis/tools/analyzers/testdata/purecompute/env"
+)
+
+// header stands in for a message header with a lazily-memoized Hash and
+// a worker-safe stateless variant.
+type header struct{ hash [32]byte }
+
+func (h *header) Hash() [32]byte          { return h.hash }
+func (h *header) HashStateless() [32]byte { return h.hash }
+func (h *header) Digest() [32]byte        { return h.hash }
+
+func okOffloads(p *compute.Pool, hdr header) {
+	// Allowed: pure derivation from values captured at launch time.
+	f := compute.Go(p, func() [32]byte { return hdr.HashStateless() })
+	_ = f.Force() // joins happen on the event loop; Force outside a closure is fine
+	p.Map(4, func(i int) { _ = hdr.HashStateless() })
+}
+
+func badContext(p *compute.Pool, ctx fixenv.Context, hdr header) {
+	compute.Go(p, func() int {
+		ctx.Send(1, hdr) // want "touches env state"
+		return 0
+	})
+}
+
+func badClockAndRand(p *compute.Pool) {
+	compute.Go(p, func() int64 {
+		_ = time.Now()        // want "pure compute may not read clocks"
+		return rand.Int63n(9) // want "pure compute may not consume RNGs"
+	})
+	p.Map(2, func(i int) {
+		time.Sleep(time.Millisecond) // want "pure compute may not read clocks"
+	})
+}
+
+func badMemoizers(p *compute.Pool, hdr *header) {
+	compute.Go(p, func() [32]byte {
+		_ = hdr.Digest()  // want "memoizes lazily"
+		return hdr.Hash() // want "memoizes lazily"
+	})
+	// Allowed outside closures: the event loop owns the memo fields.
+	_ = hdr.Hash()
+	_ = hdr.Digest()
+}
+
+func badNesting(p *compute.Pool, hdr header) {
+	compute.Go(p, func() int {
+		p.Map(2, func(i int) {}) // want "can deadlock the pool"
+		go func() {}()           // want "workers must not spawn goroutines"
+		return 0
+	})
+	compute.Go[int](p, func() int { // explicit instantiation is matched too
+		compute.Go(p, func() int { return 0 }) // want "offload only from the event loop"
+		return 0
+	})
+}
