@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke ci
+.PHONY: all build vet lint test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke ci
 
 # The kernel micro-benchmark set (bench_kernels_test.go at the repo
 # root): simnet scheduling, wire framing, erasure coding, merkle, and
@@ -72,6 +72,26 @@ replay-smoke:
 	go test -race -run 'TestReplayWorkers' ./internal/harness/
 	go run ./tools/replaydiff
 
+# fuzz-smoke: a short coverage-guided run of the wire frame-decoding
+# fuzzer on top of its checked-in seed corpus (testdata/fuzz). Unmarshal
+# guards every receive path, so "never panics, consumes one frame,
+# re-marshals canonically" gets continuous adversarial pressure, not just
+# the fixed seeds.
+fuzz-smoke:
+	go test ./internal/wire/ -run '^$$' -fuzz FuzzUnmarshal -fuzztime 10s
+
+# byz-smoke: the Byzantine-robustness gate, two halves. First the
+# byzantine experiment under the race detector: scripted data-plane
+# adversaries (stripe corruption, withholding, garbage frames, leader
+# equivocation) must be detected by the right counters and outrun —
+# post-attack throughput within 5% of baseline — while the Eq. 4 sweep
+# tracks the paper's delivery-probability prediction. Then replaydiff on
+# the recovery experiment: with an empty Byzantine schedule the hardening
+# hooks must leave every existing replay hash byte-identical.
+byz-smoke:
+	go run -race ./cmd/predis-bench -quick byzantine >/dev/null
+	go run ./tools/replaydiff recovery
+
 # trace-smoke: run the quickstart experiment with -trace and validate the
 # emitted Chrome trace JSON parses and records at least one span for every
 # pipeline stage (submit, bundle_sealed, block_proposed, prepare_commit,
@@ -82,4 +102,4 @@ trace-smoke:
 	go run ./tools/tracecheck bin/trace-smoke.json
 	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
 
-ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke
+ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke

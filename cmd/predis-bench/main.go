@@ -11,7 +11,7 @@
 //	predis-bench [-quick] [-seed N] <experiment-id>... [-trace] [-metrics]
 //
 // Experiment ids: quickstart fig4a fig4b fig4c fig4d fig5wan fig5lan fig6
-// fig7 fig8 recovery.
+// fig7 fig8 recovery byzantine.
 //
 // Observability (experiments that support it: quickstart, recovery):
 //
@@ -71,7 +71,7 @@ func parse(argv []string) (cli, []string, error) {
 	fs.IntVar(&c.workers, "workers", 0, "offload pure crypto/erasure work inside each point to N pool workers (0 = inline; results and replay hashes are identical for any N)")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file at exit")
-	fs.BoolVar(&c.replay, "replay", false, "print the delivery replay hash for supporting experiments (quickstart, recovery); identical across -workers/-parallel settings")
+	fs.BoolVar(&c.replay, "replay", false, "print the delivery replay hash for supporting experiments (quickstart, recovery, byzantine); identical across -workers/-parallel settings")
 	fs.BoolVar(&c.trace, "trace", false, "write Chrome trace-event JSON for supporting experiments")
 	fs.StringVar(&c.traceOut, "trace-out", "", "trace output path (default <id>-trace.json)")
 	fs.BoolVar(&c.metrics, "metrics", false, "write stage/metric/sample CSVs for supporting experiments")
@@ -301,7 +301,7 @@ Flags:
   -metrics       write stage/metric/sample/link CSVs
   -metrics-out P CSV path prefix (default <id>)
   -replay        print "replay <id> <sha256> <deliveries>" for supporting
-                 experiments (quickstart, recovery); the hash is identical
+                 experiments (quickstart, recovery, byzantine); the hash is identical
                  for any -workers/-parallel setting
   -cpuprofile P  write a CPU profile (inspect with go tool pprof)
   -memprofile P  write a heap profile at exit

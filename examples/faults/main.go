@@ -1,4 +1,4 @@
-// Faults: three failure scenarios from the paper, end to end.
+// Faults: four failure scenarios from the paper, end to end.
 //
 // Scenario 1 — forking attack (§III-E): a malicious producer signs two
 // conflicting bundles at the same height. The first honest node to see
@@ -14,6 +14,13 @@
 // distributors promote a replacement for the orphaned stripes, and when
 // the crashed node restarts it re-runs the subscription bootstrap and
 // catches up the blocks it missed. The example prints the timeline.
+//
+// Scenario 4 — corrupting relayer (§IV-B): the network forges every
+// stripe a relayer sends during an attack window. Subscribers reject the
+// stripes on Merkle-proof verification, refetch the damaged bundles from
+// alternate holders, and quarantine the repeat offender behind a TTL
+// blacklist; the zone keeps completing blocks throughout, and once the
+// TTL lapses the (honest) node is re-admitted.
 //
 //	go run ./examples/faults
 package main
@@ -47,6 +54,11 @@ func main() {
 	}
 	fmt.Println()
 	if err := relayerCrash(); err != nil {
+		fmt.Fprintln(os.Stderr, "faults:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if err := corruptingRelayer(); err != nil {
 		fmt.Fprintln(os.Stderr, "faults:", err)
 		os.Exit(1)
 	}
@@ -321,6 +333,122 @@ func relayerCrash() error {
 	}
 	fmt.Printf("  restarted relayer back at head %d (live %d), relayer=%v ✓\n",
 		v.LastHeight(), live, v.IsRelayer())
+	return nil
+}
+
+// corruptingRelayer shows the Byzantine data-plane hardening (§IV-B):
+// reject on verification, refetch from alternates, quarantine the
+// offender, keep completing blocks.
+func corruptingRelayer() error {
+	fmt.Println("scenario 4: corrupting relayer → reject → refetch → quarantine")
+	const (
+		nc, f    = 4, 1
+		perZone  = 6
+		rate     = 300.0
+		duration = 12 * time.Second
+	)
+	attackFrom, attackTo := 4*time.Second, 7*time.Second
+
+	node.RegisterAllMessages()
+	multizone.RegisterMessages()
+	net := simnet.New(simnet.Config{
+		Uplink: simnet.Mbps100, Downlink: simnet.Mbps100,
+		Latency: simnet.LANLatency(), Seed: 23,
+	})
+	suite := crypto.NewSimSuite(nc, 31)
+	striper, err := multizone.NewStriper(nc, f)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < nc; i++ {
+		host, err := multizone.NewConsensusHost(multizone.HostConfig{
+			NC: nc, F: f, Self: wire.NodeID(i),
+			Signer:         suite.Signer(i),
+			Engine:         node.EnginePBFT,
+			BundleSize:     25,
+			BundleInterval: 20 * time.Millisecond,
+			ViewTimeout:    time.Second,
+			Striper:        striper,
+			ReplyToClients: true,
+		})
+		if err != nil {
+			return err
+		}
+		net.AddNode(wire.NodeID(i), host)
+	}
+	fullID := func(k int) wire.NodeID { return wire.NodeID(100 + k) }
+	fulls := make([]*multizone.FullNode, perZone)
+	for k := 0; k < perZone; k++ {
+		peers := make([]wire.NodeID, 0, perZone-1)
+		for p := 0; p < perZone; p++ {
+			if p != k {
+				peers = append(peers, fullID(p))
+			}
+		}
+		fn, err := multizone.NewFullNode(multizone.FullNodeConfig{
+			Self: fullID(k), Zone: 0, JoinSeq: uint64(k),
+			NC: nc, F: f,
+			Striper:        striper,
+			Signer:         suite.Signer(0),
+			ZonePeers:      peers,
+			AliveInterval:  200 * time.Millisecond,
+			DigestInterval: time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		fulls[k] = fn
+		net.AddNode(fullID(k), &multizone.Delayed{Inner: fn, Delay: time.Duration(k) * 20 * time.Millisecond})
+	}
+	evil := fullID(0) // first joiner: claims stripes, so its forgeries fan out widest
+
+	inj := faults.Install(net, faults.Schedule{Seed: 23, Actions: []faults.Action{
+		faults.CorruptStripe{Node: evil, From: attackFrom, To: attackTo},
+	}})
+
+	targets := make([]wire.NodeID, nc)
+	for i := range targets {
+		targets[i] = wire.NodeID(i)
+	}
+	net.AddNode(400, workload.NewClient(workload.ClientConfig{
+		Self: 400, Targets: targets, Policy: workload.RoundRobin,
+		Rate: rate, TxSize: types.DefaultTxSize, F: f,
+		Epoch:    simnet.Epoch,
+		GenStart: simnet.Epoch.Add(300 * time.Millisecond),
+		GenStop:  simnet.Epoch.Add(duration),
+	}))
+
+	fmt.Printf("  node %d's outgoing stripes are forged during [%v, %v)\n",
+		evil, attackFrom, attackTo)
+	net.Start()
+	net.Run(duration)
+
+	fmt.Println("  fault schedule trace:")
+	fmt.Print(indent(inj.TraceString(), "    "))
+
+	var rejected, refetches, quarantines uint64
+	for _, fn := range fulls {
+		rj, rf, q, _ := fn.ByzStats()
+		rejected += rj
+		refetches += rf
+		quarantines += q
+	}
+	if rejected == 0 || refetches == 0 || quarantines == 0 {
+		return fmt.Errorf("attack went unpunished: rejected=%d refetches=%d quarantines=%d",
+			rejected, refetches, quarantines)
+	}
+	var low, high uint64 = ^uint64(0), 0
+	for _, fn := range fulls {
+		h := fn.LastHeight()
+		if h < low {
+			low = h
+		}
+		if h > high {
+			high = h
+		}
+	}
+	fmt.Printf("  rejected=%d refetched=%d quarantined=%d; zone heads span [%d, %d] ✓\n",
+		rejected, refetches, quarantines, low, high)
 	return nil
 }
 

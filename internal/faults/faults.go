@@ -119,9 +119,11 @@ type Injector struct {
 	net *simnet.Network
 	rng *rand.Rand
 
-	parts  []*partWindow
-	losses []*lossWindow
-	trace  []TraceEvent
+	parts     []*partWindow
+	losses    []*lossWindow
+	mutants   []*mutWindow
+	withholds []*withholdWindow
+	trace     []TraceEvent
 }
 
 type partWindow struct {
@@ -149,6 +151,11 @@ func Install(net *simnet.Network, s Schedule) *Injector {
 	}
 	net.SetPartition(inj.partitioned)
 	net.SetDropFilter(inj.drop)
+	if len(inj.mutants) > 0 {
+		// Only Byzantine schedules install a mutator: a benign schedule
+		// leaves the delivery path byte-identical to a build without one.
+		net.SetMutator(inj.mutate)
+	}
 	return inj
 }
 
@@ -195,6 +202,17 @@ func (inj *Injector) drop(from, to wire.NodeID, m wire.Message) bool {
 			continue
 		}
 		if w.prob >= 1 || inj.rng.Float64() < w.prob {
+			return true
+		}
+	}
+	for _, w := range inj.withholds {
+		if !w.active || w.from != from {
+			continue
+		}
+		if w.victims != nil && !w.victims[to] {
+			continue
+		}
+		if _, ok := m.(StripeTamperer); ok {
 			return true
 		}
 	}

@@ -190,6 +190,93 @@ func TestLossWindowEdges(t *testing.T) {
 	}
 }
 
+func TestSlowNodeShedsRoughlyDropProb(t *testing.T) {
+	// A Slow window with DropProb p should shed about p of the node's
+	// outbound; a paired run without the window gives the baseline count.
+	baseline := func() int {
+		n, _, b := buildPair(6)
+		n.Start()
+		n.Run(2 * time.Second)
+		return len(b.got)
+	}()
+	n, _, b := buildPair(6)
+	Install(n, Schedule{Seed: 6, Actions: []Action{
+		Slow{Node: 0, From: 0, To: 2 * time.Second, DropProb: 0.5},
+	}})
+	n.Start()
+	n.Run(2 * time.Second)
+	got := len(b.got)
+	if got == 0 || got >= baseline {
+		t.Fatalf("slow node delivered %d of %d, want a strict reduction", got, baseline)
+	}
+	// 200 sends at p=0.5: [25%, 75%] is > 13 sigma, tight enough to fail
+	// on a broken filter yet never on an unlucky seed.
+	if got < baseline/4 || got > 3*baseline/4 {
+		t.Fatalf("slow node delivered %d of %d, want roughly half", got, baseline)
+	}
+}
+
+func TestOverlappingLossAndSilentWindowsCompose(t *testing.T) {
+	// A Silent window (p=1) overlapping a partial-loss window: while both
+	// are active nothing flows; after the silent window ends the loss
+	// window keeps shedding; after both, traffic is clean again.
+	n, _, b := buildPair(13)
+	Install(n, Schedule{Seed: 13, Actions: []Action{
+		Silent{Node: 0, From: 50 * time.Millisecond, To: 150 * time.Millisecond},
+		LossWindow{From: 0, To: 1, Prob: 1,
+			Start: 100 * time.Millisecond, End: 250 * time.Millisecond},
+	}})
+	n.Start()
+	n.Run(400 * time.Millisecond)
+
+	var before, after bool
+	for _, at := range b.gotAt {
+		if at > 51*time.Millisecond && at < 250*time.Millisecond {
+			t.Fatalf("delivery at t=%s inside the composed outage", at)
+		}
+		if at <= 50*time.Millisecond {
+			before = true
+		}
+		if at >= 250*time.Millisecond {
+			after = true
+		}
+	}
+	if !before || !after {
+		t.Fatalf("expected clean traffic on both edges (before=%v after=%v)", before, after)
+	}
+}
+
+func TestTraceStringDeterministicUnderParallelism(t *testing.T) {
+	// Several identical schedules run in parallel subtests; every trace
+	// must match a reference computed up front. Catches any hidden shared
+	// state between injectors (a global rng, say) that -parallel exposes.
+	run := func() string {
+		n, _, _ := buildPair(21)
+		inj := Install(n, Schedule{Seed: 21, Actions: []Action{
+			CrashWindow{Node: 1, From: 30 * time.Millisecond, To: 90 * time.Millisecond},
+			Silent{Node: 0, From: 40 * time.Millisecond, To: 110 * time.Millisecond},
+			Slow{Node: 0, From: 100 * time.Millisecond, To: 260 * time.Millisecond, DropProb: 0.4},
+			LossWindow{From: wire.NoNode, To: 0, Prob: 0.2,
+				Start: 120 * time.Millisecond, End: 300 * time.Millisecond},
+		}})
+		n.Start()
+		n.Run(350 * time.Millisecond)
+		return inj.TraceString()
+	}
+	want := run()
+	if want == "" {
+		t.Fatal("empty reference trace")
+	}
+	for i := 0; i < 4; i++ {
+		t.Run(fmt.Sprintf("replica-%d", i), func(t *testing.T) {
+			t.Parallel()
+			if got := run(); got != want {
+				t.Fatalf("trace diverged under parallelism:\n%s\n--- vs ---\n%s", got, want)
+			}
+		})
+	}
+}
+
 func TestScheduleDeterminism(t *testing.T) {
 	run := func() (string, string) {
 		n, a, b := buildPair(42)

@@ -76,6 +76,7 @@ func Registry() []Experiment {
 		{"fig7", "Fig. 7: Multi-Zone vs star topology throughput", Fig7},
 		{"fig8", "Fig. 8: block propagation latency (star/random/Multi-Zone)", Fig8},
 		{"recovery", "Recovery: relayer & leader crash/restart — dip depth and time-to-recover", Recovery},
+		{"byzantine", "Byzantine: data-plane adversaries — Eq. 4 delivery sweep, attack windows, self-healing", Byzantine},
 	}
 }
 

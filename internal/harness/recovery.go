@@ -38,6 +38,13 @@ type recoverySpec struct {
 	// catch-up); false crashes the first-joined full node of zone 0 (a
 	// relayer, forcing stripe re-subscription and zone catch-up).
 	victimConsensus bool
+	// actions, when non-nil, replaces the default crash window with a
+	// custom fault schedule (the Byzantine experiment reuses this rig
+	// with adversarial actions instead of a crash).
+	actions []faults.Action
+	// starveRewire arms FullNodeConfig.StarveRewireAfter on every full
+	// node (0 leaves the opt-in withholding detector off).
+	starveRewire int
 	// trace, when non-nil, accumulates the replay hash of every delivery
 	// (see ReplayTrace).
 	trace *ReplayTrace
@@ -65,6 +72,16 @@ type recoveryResult struct {
 	// catchingUp reports whether the victim's catch-up was still in
 	// flight when the run ended (relayer scenario only).
 	catchingUp bool
+	// Byzantine-hardening counters, summed across all full nodes. On a
+	// benign schedule (crashes, loss) every one of these is zero:
+	// verification never fails without an adversary.
+	rejected, refetches, quarantines, rewires uint64
+	// undecodable counts frames the network dropped because their body
+	// would not decode (garbage-wire attacks; zero on benign runs).
+	undecodable uint64
+	// equivocations sums proven leader equivocations across the
+	// consensus group (zero on benign runs).
+	equivocations uint64
 }
 
 // runRecovery builds the deployment, installs the fault schedule, runs
@@ -105,6 +122,7 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 	// re-election, and catch-up. Per-node last-commit heights feed the
 	// leader scenario's head comparison.
 	lastCommit := make([]uint64, spec.nc)
+	hosts := make([]*multizone.ConsensusHost, 0, spec.nc)
 	for i := 0; i < spec.nc; i++ {
 		i := i
 		host, err := multizone.NewConsensusHost(multizone.HostConfig{
@@ -129,6 +147,7 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 		if err != nil {
 			return recoveryResult{}, err
 		}
+		hosts = append(hosts, host)
 		net.AddNode(wire.NodeID(i), host)
 	}
 
@@ -153,13 +172,14 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 			fcfg := multizone.FullNodeConfig{
 				Self: id, Zone: z, JoinSeq: uint64(join),
 				NC: spec.nc, F: spec.f,
-				Striper:        striper,
-				Signer:         suite.Signer(0),
-				ZonePeers:      peers,
-				BackupPeers:    backups,
-				AliveInterval:  200 * time.Millisecond,
-				DigestInterval: 1 * time.Second,
-				Trace:          spec.obsTrace,
+				Striper:           striper,
+				Signer:            suite.Signer(0),
+				ZonePeers:         peers,
+				BackupPeers:       backups,
+				AliveInterval:     200 * time.Millisecond,
+				DigestInterval:    1 * time.Second,
+				StarveRewireAfter: spec.starveRewire,
+				Trace:             spec.obsTrace,
 			}
 			if !spec.victimConsensus && z == 0 && k == 1 {
 				// Zone-side observer: a healthy peer of the crashed relayer.
@@ -177,17 +197,19 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 		}
 	}
 
-	// Fault schedule: one crash window on the chosen victim.
+	// Fault schedule: one crash window on the chosen victim unless the
+	// caller scripted its own actions (Byzantine scenarios).
 	victim := fullID(0, 0) // first joiner of zone 0: claims stripes, relays
 	if spec.victimConsensus {
 		victim = wire.NodeID(0) // PBFT view-0 leader
 	}
-	inj := faults.Install(net, faults.Schedule{
-		Seed: spec.seed,
-		Actions: []faults.Action{
+	actions := spec.actions
+	if actions == nil {
+		actions = []faults.Action{
 			faults.CrashWindow{Node: victim, From: spec.crashFrom, To: spec.crashTo},
-		},
-	})
+		}
+	}
+	inj := faults.Install(net, faults.Schedule{Seed: spec.seed, Actions: actions})
 
 	// Load.
 	targets := make([]wire.NodeID, spec.nc)
@@ -215,6 +237,21 @@ func runRecovery(spec recoverySpec) (recoveryResult, error) {
 	net.Run(spec.duration)
 
 	res := recoveryResult{buckets: buckets, trace: inj.TraceString()}
+	for _, fn := range fulls {
+		rj, rf, q, rw := fn.ByzStats()
+		res.rejected += rj
+		res.refetches += rf
+		res.quarantines += q
+		res.rewires += rw
+	}
+	res.undecodable = net.Dropped().Undecodable
+	for _, h := range hosts {
+		// Both engine kinds expose proven-equivocation counts; the
+		// interface stays narrow so node.Engine needs no new method.
+		if eq, ok := h.Node.Engine().(interface{ Equivocations() uint64 }); ok {
+			res.equivocations += eq.Equivocations()
+		}
+	}
 	if spec.victimConsensus {
 		res.victimHead = lastCommit[0]
 		for i := 1; i < spec.nc; i++ {
@@ -309,7 +346,10 @@ func Recovery(o Options) ([]*stats.Table, error) {
 	}
 	summary := &stats.Table{
 		Title: "Recovery summary (rows: 1=baseline tx/s, 2=dip floor tx/s, " +
-			"3=dip depth %, 4=time-to-recover ms, 5=victim head, 6=live head)",
+			"3=dip depth %, 4=time-to-recover ms, 5=victim head, 6=live head, " +
+			"7=stripes rejected, 8=refetches, 9=quarantines, 10=rewires — " +
+			"rows 7-10 are the Byzantine-hardening counters and must be zero " +
+			"on these benign crash scenarios)",
 		XLabel: "row",
 	}
 	scenarios := []struct {
@@ -359,7 +399,16 @@ func Recovery(o Options) ([]*stats.Table, error) {
 		sum.Add(4, ttr)
 		sum.Add(5, float64(res.victimHead))
 		sum.Add(6, float64(res.liveHead))
+		sum.Add(7, float64(res.rejected))
+		sum.Add(8, float64(res.refetches))
+		sum.Add(9, float64(res.quarantines))
+		sum.Add(10, float64(res.rewires))
 		summary.Series = append(summary.Series, sum)
+		if n := res.rejected + res.refetches + res.quarantines + res.rewires +
+			res.undecodable + res.equivocations; n != 0 {
+			return nil, fmt.Errorf("recovery %s: benign crash moved Byzantine counters (%d)",
+				sc.name, n)
+		}
 
 		// Per-stage latency breakdown: dissemination stages absorb the
 		// outage (stripe_distributed/fullnode_delivered tails stretch while

@@ -87,6 +87,14 @@ type Engine struct {
 
 	proposedInView uint64 // last view in which we proposed
 
+	// seenProp records the first authenticated proposal block per view; a
+	// second distinct leader-signed block, or a QC certifying a different
+	// block of the view, is equivocation evidence.
+	seenProp map[uint64]*Block
+	// evidenced marks views whose equivocation this replica has proven,
+	// so one attack counts (and broadcasts) once.
+	evidenced map[uint64]bool
+
 	pacemaker env.Timer
 	repropose env.Timer
 	backoff   int
@@ -94,8 +102,9 @@ type Engine struct {
 	peers []wire.NodeID
 
 	// stats
-	committed uint64
-	timeouts  uint64
+	committed     uint64
+	timeouts      uint64
+	equivocations uint64
 }
 
 var _ consensus.Engine = (*Engine)(nil)
@@ -114,16 +123,18 @@ func New(cfg Config) (*Engine, error) {
 		peers[i] = wire.NodeID(i)
 	}
 	e := &Engine{
-		cfg:      c,
-		f:        consensus.FaultBound(c.N),
-		quo:      consensus.Quorum(c.N),
-		curView:  1,
-		highQC:   GenesisQC(),
-		lockedQC: GenesisQC(),
-		blocks:   make(map[crypto.Hash]*blockEnt),
-		votes:    make(map[crypto.Hash]*QC),
-		newViews: make(map[uint64]map[wire.NodeID]*QC),
-		peers:    peers,
+		cfg:       c,
+		f:         consensus.FaultBound(c.N),
+		quo:       consensus.Quorum(c.N),
+		curView:   1,
+		highQC:    GenesisQC(),
+		lockedQC:  GenesisQC(),
+		blocks:    make(map[crypto.Hash]*blockEnt),
+		votes:     make(map[crypto.Hash]*QC),
+		newViews:  make(map[uint64]map[wire.NodeID]*QC),
+		seenProp:  make(map[uint64]*Block),
+		evidenced: make(map[uint64]bool),
+		peers:     peers,
 	}
 	// Seed the tree with the implicit genesis block.
 	e.blocks[crypto.ZeroHash] = &blockEnt{
@@ -143,6 +154,10 @@ func (e *Engine) LastExecuted() uint64 { return e.execHeight }
 
 // Stats returns (blocks committed, pacemaker timeouts).
 func (e *Engine) Stats() (committed, timeouts uint64) { return e.committed, e.timeouts }
+
+// Equivocations returns how many leader equivocations this replica has
+// proven, first-hand or through received evidence.
+func (e *Engine) Equivocations() uint64 { return e.equivocations }
 
 // Leader returns the leader of the current view.
 func (e *Engine) Leader() wire.NodeID { return consensus.LeaderOf(e.curView, e.cfg.N) }
@@ -279,6 +294,8 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 		e.onVote(from, msg)
 	case *NewViewMsg:
 		e.onNewView(from, msg)
+	case *Evidence:
+		e.onEvidence(from, msg)
 	default:
 		e.ctx.Logf("hotstuff: unexpected message %s from %d", wire.TypeName(m.Type()), from)
 	}
@@ -295,6 +312,19 @@ func (e *Engine) onProposal(from wire.NodeID, m *Proposal) {
 	}
 	if !e.cfg.Signer.Verify(int(b.Leader), hash, b.Sig) {
 		return
+	}
+	// Record the first authenticated proposal per view — before the
+	// justify/parent checks, so a forged variant that cannot extend the
+	// chain is still remembered as the leader's signed word. A second,
+	// distinct leader-signed block for the view is first-hand proof of
+	// equivocation.
+	if prev, ok := e.seenProp[b.View]; ok {
+		if prev.Hash() != hash {
+			e.foundEquivocation(b.View, b.Leader, prev, b)
+			return
+		}
+	} else {
+		e.seenProp[b.View] = b
 	}
 	if !b.Justify.Verify(e.cfg.Signer, e.cfg.N, e.quo) {
 		return
@@ -484,11 +514,99 @@ func (e *Engine) onNewView(from wire.NodeID, m *NewViewMsg) {
 	}
 }
 
+// foundEquivocation runs when this replica holds two leader-signed blocks
+// for one view: count it once, broadcast the self-authenticating
+// evidence, and abandon the view.
+func (e *Engine) foundEquivocation(view uint64, leader wire.NodeID, a, b *Block) {
+	if !e.evidenced[view] {
+		e.evidenced[view] = true
+		e.equivocations++
+		ev := &Evidence{
+			View: view, Leader: leader,
+			BlockA: a.Hash(), SigA: a.Sig,
+			BlockB: b.Hash(), SigB: b.Sig,
+			Conflict: GenesisQC(),
+		}
+		env.Multicast(e.ctx, e.peers, ev)
+		e.ctx.Logf("hotstuff: leader %d equivocated in view %d", leader, view)
+	}
+	e.viewChangeTo(view + 1)
+}
+
+// foundQCConflict runs when a quorum certified a different block than the
+// authenticated proposal this replica received for the same view — the
+// leader showed different blocks to different replicas. The leader-signed
+// proposal half plus the conflicting certificate form the evidence.
+func (e *Engine) foundQCConflict(prop *Block, qc *QC) {
+	if e.evidenced[qc.View] {
+		return
+	}
+	e.evidenced[qc.View] = true
+	e.equivocations++
+	ev := &Evidence{
+		View: qc.View, Leader: e.leaderOf(qc.View),
+		BlockA: prop.Hash(), SigA: prop.Sig,
+		Conflict: qc,
+	}
+	env.Multicast(e.ctx, e.peers, ev)
+	e.ctx.Logf("hotstuff: view %d QC conflicts with leader %d's proposal", qc.View, e.leaderOf(qc.View))
+}
+
+// viewChangeTo abandons the current view in favour of a later one and
+// tells its leader, exactly as a pacemaker timeout does — equivocation
+// evidence is a proof-backed timeout.
+func (e *Engine) viewChangeTo(view uint64) {
+	if view <= e.curView {
+		return
+	}
+	e.advanceView(view)
+	nv := &NewViewMsg{View: e.curView, HighQC: e.highQC, Replica: e.cfg.Self}
+	nv.Sig = e.cfg.Signer.Sign(nv.signDigest())
+	if leader := e.Leader(); leader == e.cfg.Self {
+		e.onNewView(e.cfg.Self, nv)
+	} else {
+		e.ctx.Send(leader, nv)
+	}
+}
+
+func (e *Engine) onEvidence(from wire.NodeID, m *Evidence) {
+	if m.Leader != e.leaderOf(m.View) || e.evidenced[m.View] {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Leader), m.BlockA, m.SigA) {
+		return
+	}
+	viaQC := m.Conflict != nil && !m.Conflict.IsGenesis()
+	switch {
+	case len(m.SigB) > 0:
+		if m.BlockB == m.BlockA || !e.cfg.Signer.Verify(int(m.Leader), m.BlockB, m.SigB) {
+			return
+		}
+	case viaQC:
+		if m.Conflict.View != m.View || m.Conflict.Block == m.BlockA ||
+			!m.Conflict.Verify(e.cfg.Signer, e.cfg.N, e.quo) {
+			return
+		}
+	default:
+		return // no second half; not evidence
+	}
+	e.evidenced[m.View] = true
+	e.equivocations++
+	e.ctx.Logf("hotstuff: evidence of leader %d equivocating in view %d", m.Leader, m.View)
+	if viaQC {
+		e.processQC(m.Conflict) // a valid QC is useful state regardless
+	}
+	e.viewChangeTo(m.View + 1)
+}
+
 // processQC folds a certificate into local state: raise highQC, update the
 // lock (two-chain), and commit (three-chain).
 func (e *Engine) processQC(qc *QC) {
 	if qc.IsGenesis() {
 		return
+	}
+	if prev, ok := e.seenProp[qc.View]; ok && prev.Hash() != qc.Block {
+		e.foundQCConflict(prev, qc)
 	}
 	if qc.View > e.highQC.View {
 		e.highQC = qc
@@ -601,6 +719,16 @@ func (e *Engine) pruneBelow(height uint64) {
 	for v := range e.newViews {
 		if v+margin < e.curView {
 			delete(e.newViews, v)
+		}
+	}
+	for v := range e.seenProp {
+		if v+margin < e.curView {
+			delete(e.seenProp, v)
+		}
+	}
+	for v := range e.evidenced {
+		if v+margin < e.curView {
+			delete(e.evidenced, v)
 		}
 	}
 }

@@ -21,6 +21,7 @@ const (
 	TypeProposal = wire.TypeRangeHotStuff + 1
 	TypeVote     = wire.TypeRangeHotStuff + 2
 	TypeNewView  = wire.TypeRangeHotStuff + 3
+	TypeEvidence = wire.TypeRangeHotStuff + 4
 )
 
 // voteDigest is what replicas sign to vote for a block in a view.
@@ -214,6 +215,78 @@ func decodeProposal(d *wire.Decoder) (wire.Message, error) {
 	return &Proposal{Block: b}, d.Err()
 }
 
+// Equivocate implements the fault injector's Equivocator interface: it
+// returns a proposal for the same view whose block disagrees with the
+// original (different parent link), re-signed by signer as the original
+// leader. Receivers accept the signature, but the block cannot extend the
+// chain its Justify certifies, so victims refuse to vote for it — and the
+// conflicting signed block is equivocation evidence.
+func (m *Proposal) Equivocate(signer crypto.Signer) wire.Message {
+	b := m.Block
+	fork := &Block{
+		Height:  b.Height,
+		View:    b.View,
+		Parent:  b.Parent,
+		Justify: b.Justify,
+		Payload: b.Payload,
+		Leader:  b.Leader,
+	}
+	fork.Parent[0] ^= 0xff
+	fork.Sig = signer.Sign(fork.Hash())
+	return &Proposal{Block: fork}
+}
+
+// Evidence proves leader equivocation in a view: an authenticated
+// proposal block (BlockA, leader-signed by SigA) plus either a second
+// leader-signed block (BlockB/SigB) or a quorum certificate for a
+// different block of the same view (Conflict). Both halves are verified
+// by every receiver, so the message needs no reporter signature.
+type Evidence struct {
+	View     uint64
+	Leader   wire.NodeID
+	BlockA   crypto.Hash
+	SigA     []byte
+	BlockB   crypto.Hash
+	SigB     []byte // empty when Conflict carries the second half
+	Conflict *QC    // genesis when SigB carries the second half
+}
+
+var _ wire.Message = (*Evidence)(nil)
+
+// Type implements wire.Message.
+func (m *Evidence) Type() wire.Type { return TypeEvidence }
+
+// WireSize implements wire.Message.
+func (m *Evidence) WireSize() int {
+	return wire.FrameOverhead + 8 + 4 + 32 + wire.SizeVarBytes(m.SigA) +
+		32 + wire.SizeVarBytes(m.SigB) + m.Conflict.EncodedSize()
+}
+
+// EncodeBody implements wire.Message.
+func (m *Evidence) EncodeBody(e *wire.Encoder) {
+	e.U64(m.View)
+	e.Node(m.Leader)
+	e.Bytes32(m.BlockA)
+	e.VarBytes(m.SigA)
+	e.Bytes32(m.BlockB)
+	e.VarBytes(m.SigB)
+	m.Conflict.EncodeTo(e)
+}
+
+func decodeEvidence(d *wire.Decoder) (wire.Message, error) {
+	m := &Evidence{
+		View: d.U64(), Leader: d.Node(),
+		BlockA: d.Bytes32(), SigA: d.VarBytes(),
+		BlockB: d.Bytes32(), SigB: d.VarBytes(),
+	}
+	qc, err := DecodeQC(d)
+	if err != nil {
+		return nil, err
+	}
+	m.Conflict = qc
+	return m, d.Err()
+}
+
 // Vote is a replica's signature share for a block, sent to the next view's
 // leader (HotStuff's all-to-one voting).
 type Vote struct {
@@ -298,5 +371,6 @@ func RegisterMessages() {
 		wire.Register(TypeProposal, "hotstuff.proposal", decodeProposal)
 		wire.Register(TypeVote, "hotstuff.vote", decodeVote)
 		wire.Register(TypeNewView, "hotstuff.newview", decodeNewView)
+		wire.Register(TypeEvidence, "hotstuff.evidence", decodeEvidence)
 	})
 }

@@ -50,6 +50,10 @@ type Distributor struct {
 	// stats
 	stripesOut uint64
 	blocksOut  uint64
+	// unexpected counts non-zone-plane messages reaching the distributor.
+	// Stripes only flow outward here, so a Byzantine peer cannot corrupt
+	// consensus-side state — unexpected traffic is counted and ignored.
+	unexpected uint64
 }
 
 // NewDistributor builds a distributor for consensus node self.
@@ -87,6 +91,10 @@ func (d *Distributor) Subscribers() int { return len(d.subscribers) }
 
 // Stats returns (stripes sent, blocks sent).
 func (d *Distributor) Stats() (stripes, blocks uint64) { return d.stripesOut, d.blocksOut }
+
+// Unexpected returns how many non-zone-plane messages reached this
+// distributor (zero on benign runs).
+func (d *Distributor) Unexpected() uint64 { return d.unexpected }
 
 // StripeRoot implements core.Options.StripeRoot: encode the body, cache
 // the shard set, and return the stripe Merkle root for the header.
@@ -202,6 +210,7 @@ func (d *Distributor) Receive(from wire.NodeID, m wire.Message) {
 		// Liveness only.
 	default:
 		// Consensus nodes ignore other zone-plane traffic.
+		d.unexpected++
 	}
 }
 

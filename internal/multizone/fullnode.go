@@ -61,6 +61,25 @@ type FullNodeConfig struct {
 	// Retry paces bundle-pull retries and restart catch-up rounds. The
 	// zero value selects env.DefaultBackoff(AliveInterval).
 	Retry env.Backoff
+	// QuarantineAfter is how many cryptographic offenses (a stripe whose
+	// Merkle proof or bundle-header signature fails verification) a peer
+	// may commit before this node blacklists it. Only proof/signature
+	// failures count — gaps, timeouts, and losses never do — so benign
+	// runs are unaffected. Default 3; negative disables quarantine.
+	QuarantineAfter int
+	// QuarantineTTL is how long a quarantined peer stays blacklisted
+	// before it may serve or receive stripes again. Default
+	// 8×AliveInterval.
+	QuarantineTTL time.Duration
+	// StarveRewireAfter rewires a stripe subscription to an alternate
+	// source after this many consecutively assembled bundles were missing
+	// that stripe at assembly time while its sender had been silent for
+	// 2×AliveInterval (lateness alone is never charged: bundles assemble
+	// at n_c−f stripes, so the slowest sender is routinely absent at
+	// assembly). A single receiver cannot distinguish withholding from
+	// path loss, so the rewire heuristic is opt-in: zero (the default)
+	// disables it, and the Byzantine harness enables it.
+	StarveRewireAfter int
 	// CatchupWindow bounds the ring of completed blocks retained to serve
 	// BlockRequests from restarting peers (default 512, <0 disables).
 	CatchupWindow int
@@ -84,6 +103,12 @@ func (c *FullNodeConfig) withDefaults() FullNodeConfig {
 	}
 	if out.Retry == (env.Backoff{}) {
 		out.Retry = env.DefaultBackoff(out.AliveInterval)
+	}
+	if out.QuarantineAfter == 0 {
+		out.QuarantineAfter = 3
+	}
+	if out.QuarantineTTL <= 0 {
+		out.QuarantineTTL = 8 * out.AliveInterval
 	}
 	if out.CatchupWindow == 0 {
 		out.CatchupWindow = 512
@@ -152,10 +177,21 @@ type FullNode struct {
 	// Liveness tracking.
 	lastSeen map[wire.NodeID]time.Time
 
+	// Byzantine hardening (see byzantine.go).
+	offenses    map[wire.NodeID]int       // cryptographic offenses per peer
+	quarantined map[wire.NodeID]time.Time // blacklist expiry per peer
+	starve      map[uint8]int             // consecutive starved assemblies per stripe
+	stripeSeen  map[uint8]time.Time       // last stripe-s traffic from its subscribed sender
+	refetching  map[crypto.Hash]bool      // damaged bundles with a live refetch loop
+
 	// Stats.
-	bundles   uint64
-	blocks    uint64
-	stripesIn uint64
+	bundles     uint64
+	blocks      uint64
+	stripesIn   uint64
+	rejected    uint64
+	refetches   uint64
+	quarantines uint64
+	rewires     uint64
 }
 
 var _ env.Handler = (*FullNode)(nil)
@@ -183,6 +219,11 @@ func NewFullNode(cfg FullNodeConfig) (*FullNode, error) {
 		pulls:        make(map[wire.NodeID]*pullState),
 		seenBlocks:   make(map[crypto.Hash]uint64),
 		lastSeen:     make(map[wire.NodeID]time.Time),
+		offenses:     make(map[wire.NodeID]int),
+		quarantined:  make(map[wire.NodeID]time.Time),
+		starve:       make(map[uint8]int),
+		stripeSeen:   make(map[uint8]time.Time),
+		refetching:   make(map[crypto.Hash]bool),
 		lastCuts:     core.ZeroCuts(c.NC),
 	}, nil
 }
@@ -272,7 +313,7 @@ func (f *FullNode) runSubscription() {
 	}
 	cands := make([]cand, 0, len(f.zoneRelayers))
 	for id, info := range f.zoneRelayers {
-		if id != f.cfg.Self && info.active() {
+		if id != f.cfg.Self && info.active() && !f.isQuarantined(id) {
 			cands = append(cands, cand{id, info})
 		}
 	}
@@ -302,6 +343,9 @@ func (f *FullNode) runSubscription() {
 	}
 	sort.Slice(leftover, func(i, j int) bool { return leftover[i] < leftover[j] })
 	for _, s := range leftover {
+		if f.isQuarantined(wire.NodeID(s)) {
+			continue // retried once the blacklist TTL expires
+		}
 		f.sendSubscribe(wire.NodeID(s), []uint8{s})
 	}
 }
@@ -329,6 +373,9 @@ func (f *FullNode) sendSubscribe(to wire.NodeID, stripes []uint8) {
 // Receive implements env.Handler.
 func (f *FullNode) Receive(from wire.NodeID, m wire.Message) {
 	f.lastSeen[from] = f.ctx.Now()
+	if f.isQuarantined(from) {
+		return // blacklisted peer: everything it sends is ignored until the TTL expires
+	}
 	switch msg := m.(type) {
 	case *StripeMsg:
 		f.onStripe(from, msg)
@@ -414,6 +461,7 @@ func (f *FullNode) onAcceptSubscribe(from wire.NodeID, m *AcceptSubscribe) {
 		}
 		delete(f.pendingSub, s)
 		f.stripeSender[s] = from
+		f.stripeSeen[s] = f.ctx.Now() // fresh sender: full starvation grace
 		if m.FromConsensus {
 			f.consensusDir[s] = true
 			became = true
@@ -436,7 +484,7 @@ func (f *FullNode) onRejectSubscribe(from wire.NodeID, m *RejectSubscribe) {
 		delete(f.pendingSub, s)
 		if len(m.Children) > 0 {
 			child := m.Children[int(s)%len(m.Children)]
-			if child != f.cfg.Self {
+			if child != f.cfg.Self && !f.isQuarantined(child) {
 				f.sendSubscribe(child, []uint8{s})
 				continue
 			}
@@ -480,7 +528,7 @@ func (f *FullNode) onGetRelayers(from wire.NodeID, m *GetRelayers) {
 
 func (f *FullNode) onRelayersInfo(from wire.NodeID, m *RelayersInfo) {
 	for _, r := range m.Relayers {
-		if r.Node == f.cfg.Self {
+		if r.Node == f.cfg.Self || f.isQuarantined(r.Node) {
 			continue
 		}
 		// Bootstrap info carries no version; only fill gaps so it never
@@ -498,6 +546,9 @@ func (f *FullNode) onRelayersInfo(from wire.NodeID, m *RelayersInfo) {
 func (f *FullNode) onRelayerAlive(from wire.NodeID, m *RelayerAlive) {
 	if int(m.Zone) != f.cfg.Zone || m.Relayer == f.cfg.Self {
 		return
+	}
+	if f.isQuarantined(m.Relayer) {
+		return // a blacklisted relayer cannot advertise itself back into the tree
 	}
 	prev := f.zoneRelayers[m.Relayer]
 	if prev != nil && m.Version <= prev.version {

@@ -14,6 +14,13 @@ import (
 // down the subscription tree, and reassemble the bundle once n_c−f stripes
 // arrived.
 func (f *FullNode) onStripe(from wire.NodeID, m *StripeMsg) {
+	// Starvation liveness, before any dedup: a subscribed sender whose
+	// stripes systematically arrive after the n_c−f fastest is still
+	// contributing — only silence marks a withholder (forgeries are charged
+	// by the offense counter below, never by the starvation detector).
+	if sd, ok := f.stripeSender[m.Index]; ok && sd == from {
+		f.stripeSeen[m.Index] = f.ctx.Now()
+	}
 	headerHash := m.Header.Hash()
 	p := f.partials[headerHash]
 	if p != nil && (p.done || p.stripes[m.Index] != nil) {
@@ -26,13 +33,23 @@ func (f *FullNode) onStripe(from wire.NodeID, m *StripeMsg) {
 	}
 	if err := f.cfg.Striper.VerifyStripe(m); err != nil {
 		f.ctx.Logf("multizone: bad stripe from %d: %v", from, err)
+		f.rejected++
+		f.recordOffense(from)
+		// Re-request the damaged bundle from an alternate holder — but
+		// only when the header itself is authentic (a partial we already
+		// signature-checked, or one that verifies now); a forged header's
+		// coordinates are not worth chasing.
+		if p != nil || f.headerAuthentic(&m.Header) {
+			f.scheduleRefetch(m.Header, from)
+		}
 		return
 	}
 	if p == nil {
 		// Verify the header signature once per bundle.
-		if int(m.Header.Producer) >= f.cfg.NC ||
-			!f.cfg.Signer.Verify(int(m.Header.Producer), m.Header.Hash(), m.Header.Sig) {
+		if !f.headerAuthentic(&m.Header) {
 			f.ctx.Logf("multizone: stripe with bad header signature from %d", from)
+			f.rejected++
+			f.recordOffense(from)
 			return
 		}
 		p = &partialBundle{header: m.Header, stripes: make([]*StripeMsg, f.cfg.NC)}
@@ -55,6 +72,7 @@ func (f *FullNode) onStripe(from wire.NodeID, m *StripeMsg) {
 			return
 		}
 		p.done = true
+		f.noteStarvation(p)
 		p.stripes = nil // free shard memory; header stays to dedupe
 		f.storeBundle(b, false)
 		f.tryCompleteBlocks()

@@ -1,6 +1,7 @@
 package multizone
 
 import (
+	"encoding/binary"
 	"sync"
 
 	"predis/internal/compute"
@@ -151,6 +152,41 @@ func decodeStripe(d *wire.Decoder) (wire.Message, error) {
 }
 
 var _ = merkle.Verify // keep import stable for documentation references
+
+// TamperShard implements the fault injector's StripeTamperer interface
+// structurally (faults cannot import this package: multizone's tests
+// import faults). It returns a copy of the stripe with shard byte i (mod
+// length) flipped and no memoized state — exactly what decoding a
+// corrupted frame yields — so the receiver's Merkle check must fail.
+// The original is untouched: the simulator shares one pointer across all
+// recipients of a multicast.
+func (m *StripeMsg) TamperShard(i int) wire.Message {
+	cp := &StripeMsg{Header: m.Header, Index: m.Index, PayloadLen: m.PayloadLen, Proof: m.Proof}
+	cp.Shard = append([]byte(nil), m.Shard...)
+	if len(cp.Shard) > 0 {
+		if i < 0 {
+			i = -i
+		}
+		cp.Shard[i%len(cp.Shard)] ^= 0xff
+	}
+	return cp
+}
+
+// TamperProof implements the fault injector's StripeTamperer interface:
+// the returned copy carries the intact shard under a valid-length garbage
+// Merkle proof derived deterministically from seed. Receivers that verify
+// proofs reject it exactly like a corrupted payload.
+func (m *StripeMsg) TamperProof(seed uint64) wire.Message {
+	cp := &StripeMsg{Header: m.Header, Index: m.Index, PayloadLen: m.PayloadLen, Shard: m.Shard}
+	cp.Proof = make([]crypto.Hash, len(m.Proof))
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], seed)
+	for i := range cp.Proof {
+		binary.LittleEndian.PutUint64(b[8:], uint64(i))
+		cp.Proof[i] = crypto.HashBytes(b[:])
+	}
+	return cp
+}
 
 // Subscribe asks the receiver to forward the listed stripe indices.
 type Subscribe struct {

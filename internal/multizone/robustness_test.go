@@ -1,6 +1,8 @@
 package multizone
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -58,6 +60,71 @@ func TestEq4RelayerCount(t *testing.T) {
 	}
 	if RelayersForTarget(0.5, 1) != 1 {
 		t.Fatal("pr=1 needs one relayer")
+	}
+}
+
+// TestEq3Edges pins Eq. 3's boundary behaviour: with no malicious nodes
+// the blend degenerates to the honest failure rate, with everyone
+// malicious it saturates at certain failure, and an f beyond N (callers
+// may pass the global fault bound against a small zone) clamps rather
+// than extrapolating past 1.
+func TestEq3Edges(t *testing.T) {
+	const ph = 0.03
+	if got := FailureProbability(0, 7, ph); got != ph {
+		t.Fatalf("f=0: pc=%v, want ph=%v", got, ph)
+	}
+	if got := FailureProbability(7, 7, ph); got != 1 {
+		t.Fatalf("f=N: pc=%v, want 1", got)
+	}
+	if got := FailureProbability(9, 7, ph); got != 1 {
+		t.Fatalf("f>N must clamp: pc=%v, want 1", got)
+	}
+	if got := FailureProbability(0, 7, 0); got != 0 {
+		t.Fatalf("f=0, ph=0: pc=%v, want 0", got)
+	}
+	if got := RelayersForTarget(0.25, 0); got != 1 {
+		t.Fatalf("pr=0 is unreachable; want the 1-relayer floor, got %d", got)
+	}
+	if got := RelayersForTarget(0, 1e-3); got != 1 {
+		t.Fatalf("pc=0 needs one relayer, got %d", got)
+	}
+}
+
+// TestEq4EmpiricalCrossCheck verifies DeliveryProbability against a
+// seeded Monte Carlo of the event it models: each of n_zr relayers fails
+// independently with probability pc, and the stripe is delivered when at
+// least one survives. 20k trials put 3σ under ±0.011 at the worst case,
+// so a 0.02 tolerance separates a correct formula from an off-by-one in
+// the exponent (pc^(nzr±1) differs by ≥ 0.09 on every row).
+func TestEq4EmpiricalCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 20_000
+	cases := []struct {
+		pc  float64
+		nzr int
+	}{
+		{0, 1}, {0, 3},
+		{0.125, 1}, {0.125, 2},
+		{0.25, 1}, {0.25, 2}, {0.25, 4},
+		{0.5, 1}, {0.5, 2}, {0.5, 3},
+		{1, 2},
+	}
+	for _, c := range cases {
+		delivered := 0
+		for i := 0; i < trials; i++ {
+			for r := 0; r < c.nzr; r++ {
+				if rng.Float64() >= c.pc {
+					delivered++
+					break
+				}
+			}
+		}
+		got := float64(delivered) / trials
+		want := DeliveryProbability(c.pc, c.nzr)
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("pc=%v nzr=%d: measured %.4f, Eq. 4 predicts %.4f",
+				c.pc, c.nzr, got, want)
+		}
 	}
 }
 

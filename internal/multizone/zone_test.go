@@ -36,6 +36,10 @@ type zoneConfig struct {
 	maxSubs     int
 	joinSpacing time.Duration
 	loss        float64
+	// starveRewire arms the opt-in withholding detector (see
+	// FullNodeConfig.StarveRewireAfter); zero leaves it off, as in
+	// production defaults.
+	starveRewire int
 }
 
 func fullNodeID(zone, idx int) wire.NodeID {
@@ -110,18 +114,19 @@ func buildZoneCluster(t testing.TB, cfg zoneConfig) *zoneCluster {
 				backups = append(backups, fullNodeID((z+1)%cfg.zones, k%cfg.perZone))
 			}
 			fn, err := NewFullNode(FullNodeConfig{
-				Self:           self,
-				Zone:           z,
-				JoinSeq:        uint64(z*cfg.perZone + k),
-				NC:             cfg.nc,
-				F:              cfg.f,
-				Striper:        striper,
-				Signer:         suite.Signer(0),
-				ZonePeers:      peers,
-				BackupPeers:    backups,
-				MaxSubscribers: cfg.maxSubs,
-				AliveInterval:  200 * time.Millisecond,
-				DigestInterval: time.Second,
+				Self:              self,
+				Zone:              z,
+				JoinSeq:           uint64(z*cfg.perZone + k),
+				NC:                cfg.nc,
+				F:                 cfg.f,
+				Striper:           striper,
+				Signer:            suite.Signer(0),
+				ZonePeers:         peers,
+				BackupPeers:       backups,
+				MaxSubscribers:    cfg.maxSubs,
+				AliveInterval:     200 * time.Millisecond,
+				StarveRewireAfter: cfg.starveRewire,
+				DigestInterval:    time.Second,
 				OnBlockComplete: func(blk *core.PredisBlock, txs int) {
 					zc.completed[self] = append(zc.completed[self], blk.Height)
 				},

@@ -63,6 +63,14 @@ type instance struct {
 	sentCommit   bool
 	prepared     bool
 	commitQuorum bool
+
+	// ppDigest/ppSig hold the leader-signed proposal seen for this slot
+	// (nil ppSig until one arrives). A second leader-signed digest, or a
+	// ProposalProof naming one, is equivocation evidence.
+	ppDigest crypto.Hash
+	ppSig    []byte
+	// proofSent throttles the ProposalProof broadcast to once per slot.
+	proofSent bool
 }
 
 // Engine is a PBFT replica. It implements consensus.Engine and is driven
@@ -93,10 +101,15 @@ type Engine struct {
 
 	peers []wire.NodeID
 
+	// evidenced marks slots whose leader equivocation this replica has
+	// already proven, so one attack counts (and broadcasts) once.
+	evidenced map[uint64]bool
+
 	// stats
-	committed   uint64
-	viewChanged uint64
-	restarts    uint64
+	committed     uint64
+	viewChanged   uint64
+	restarts      uint64
+	equivocations uint64
 }
 
 var _ consensus.Engine = (*Engine)(nil)
@@ -122,6 +135,7 @@ func New(cfg Config) (*Engine, error) {
 		quo:         consensus.Quorum(c.N),
 		instances:   make(map[uint64]*instance),
 		viewChanges: make(map[uint64]map[wire.NodeID]*ViewChange),
+		evidenced:   make(map[uint64]bool),
 		peers:       peers,
 	}, nil
 }
@@ -136,6 +150,10 @@ func (e *Engine) LastExecuted() uint64 { return e.lastExec }
 func (e *Engine) Stats() (committed, viewChanges uint64) {
 	return e.committed, e.viewChanged
 }
+
+// Equivocations returns how many leader equivocations this replica has
+// proven, first-hand or through received evidence.
+func (e *Engine) Equivocations() uint64 { return e.equivocations }
 
 // Leader returns the current view's leader.
 func (e *Engine) Leader() wire.NodeID { return consensus.LeaderOf(e.view, e.cfg.N) }
@@ -226,6 +244,8 @@ func (e *Engine) proposeAt(seq uint64, digest crypto.Hash, payload wire.Message)
 	inst := e.getInstance(seq, e.view, digest)
 	inst.payload = payload
 	inst.validated = true // leader trusts its own proposal
+	inst.ppDigest = digest
+	inst.ppSig = pp.Sig
 	e.cfg.Trace.Begin(obs.StageBlockProposed, obs.BlockKey(seq), e.cfg.Self, e.ctx.Now())
 	env.Multicast(e.ctx, e.peers, pp)
 	// The leader's pre-prepare doubles as its prepare.
@@ -280,6 +300,10 @@ func (e *Engine) Receive(from wire.NodeID, m wire.Message) {
 		e.onStatusRequest(from, msg)
 	case *StatusReply:
 		e.onStatusReply(from, msg)
+	case *ProposalProof:
+		e.onProposalProof(from, msg)
+	case *Evidence:
+		e.onEvidence(from, msg)
 	default:
 		e.ctx.Logf("pbft: unexpected message %s from %d", wire.TypeName(m.Type()), from)
 	}
@@ -300,6 +324,12 @@ func (e *Engine) onPrePrepare(from wire.NodeID, m *PrePrepare) {
 		return
 	}
 	inst := e.getInstance(m.Seq, m.View, m.Digest)
+	if inst.ppSig != nil && inst.view == m.View && inst.ppDigest != m.Digest {
+		// Two leader-signed digests for one slot: first-hand proof of
+		// equivocation. Publish it and vote the leader out.
+		e.foundEquivocation(m.View, m.Seq, m.Leader, inst.ppDigest, inst.ppSig, m.Digest, m.Sig)
+		return
+	}
 	if inst.digest != m.Digest {
 		// The slot holds a different digest. If that state came only from
 		// (possibly Byzantine) votes — no payload, not prepared — the
@@ -310,6 +340,10 @@ func (e *Engine) onPrePrepare(from wire.NodeID, m *PrePrepare) {
 		}
 		delete(e.instances, m.Seq)
 		inst = e.getInstance(m.Seq, m.View, m.Digest)
+	}
+	if inst.ppSig == nil && inst.view == m.View {
+		inst.ppDigest = m.Digest
+		inst.ppSig = m.Sig
 	}
 	// block_proposed: this replica learned an authenticated proposal for
 	// the height (first learn wins; re-proposals are idempotent).
@@ -398,6 +432,7 @@ func (e *Engine) onPrepare(from wire.NodeID, m *Prepare) {
 	}
 	inst := e.getInstance(m.Seq, m.View, m.Digest)
 	if inst.view != m.View || inst.digest != m.Digest {
+		e.suspectEquivocation(inst, m.View, m.Digest)
 		return
 	}
 	e.recordPrepare(inst, m.Replica)
@@ -412,9 +447,78 @@ func (e *Engine) onCommit(from wire.NodeID, m *Commit) {
 	}
 	inst := e.getInstance(m.Seq, m.View, m.Digest)
 	if inst.view != m.View || inst.digest != m.Digest {
+		e.suspectEquivocation(inst, m.View, m.Digest)
 		return
 	}
 	e.recordCommit(inst, m.Replica)
+}
+
+// suspectEquivocation fires when a signature-verified peer vote names a
+// different digest than the leader-signed proposal this replica holds for
+// the slot. One vote is suspicion, not proof — the voter could be lying —
+// so the replica broadcasts its leader-signed half as a ProposalProof;
+// any peer holding the conflicting half assembles Evidence, which is
+// proof.
+func (e *Engine) suspectEquivocation(inst *instance, view uint64, digest crypto.Hash) {
+	if inst.proofSent || inst.ppSig == nil || inst.view != view || inst.ppDigest == digest {
+		return
+	}
+	if e.evidenced[inst.seq] {
+		return
+	}
+	inst.proofSent = true
+	env.Multicast(e.ctx, e.peers, &ProposalProof{
+		View: inst.view, Seq: inst.seq, Digest: inst.ppDigest,
+		Leader: consensus.LeaderOf(inst.view, e.cfg.N), Sig: inst.ppSig,
+	})
+}
+
+// foundEquivocation runs when this replica holds both halves of an
+// equivocation proof: count it once, broadcast the self-authenticating
+// evidence, and vote the leader out.
+func (e *Engine) foundEquivocation(view, seq uint64, leader wire.NodeID, dA crypto.Hash, sA []byte, dB crypto.Hash, sB []byte) {
+	if !e.evidenced[seq] {
+		e.evidenced[seq] = true
+		e.equivocations++
+		ev := &Evidence{View: view, Seq: seq, Leader: leader, DigestA: dA, SigA: sA, DigestB: dB, SigB: sB}
+		env.Multicast(e.ctx, e.peers, ev)
+		e.ctx.Logf("pbft: leader %d equivocated at (view %d, seq %d)", leader, view, seq)
+	}
+	e.startViewChange(view + 1)
+}
+
+func (e *Engine) onProposalProof(from wire.NodeID, m *ProposalProof) {
+	if m.Leader != consensus.LeaderOf(m.View, e.cfg.N) || m.Seq <= e.lastExec {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Leader), voteDigest(kindPrePrepare, m.View, m.Seq, m.Digest), m.Sig) {
+		return
+	}
+	inst, ok := e.instances[m.Seq]
+	if !ok || inst.ppSig == nil || inst.view != m.View || inst.ppDigest == m.Digest {
+		return // no conflicting half here; nothing to prove
+	}
+	e.foundEquivocation(m.View, m.Seq, m.Leader, inst.ppDigest, inst.ppSig, m.Digest, m.Sig)
+}
+
+func (e *Engine) onEvidence(from wire.NodeID, m *Evidence) {
+	if m.DigestA == m.DigestB || m.Leader != consensus.LeaderOf(m.View, e.cfg.N) {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Leader), voteDigest(kindPrePrepare, m.View, m.Seq, m.DigestA), m.SigA) {
+		return
+	}
+	if !e.cfg.Signer.Verify(int(m.Leader), voteDigest(kindPrePrepare, m.View, m.Seq, m.DigestB), m.SigB) {
+		return
+	}
+	if !e.evidenced[m.Seq] {
+		e.evidenced[m.Seq] = true
+		e.equivocations++
+		e.ctx.Logf("pbft: evidence of leader %d equivocating at (view %d, seq %d)", m.Leader, m.View, m.Seq)
+	}
+	if m.View >= e.view {
+		e.startViewChange(m.View + 1)
+	}
 }
 
 func (e *Engine) recordCommit(inst *instance, replica wire.NodeID) {
@@ -444,6 +548,7 @@ func (e *Engine) tryExecute() {
 			}
 		}
 		delete(e.instances, inst.seq)
+		delete(e.evidenced, inst.seq)
 		e.lastExec = inst.seq
 		e.lastPayload = inst.payload
 		e.committed++

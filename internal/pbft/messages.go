@@ -27,6 +27,8 @@ const (
 	TypeNewView       = wire.TypeRangePBFT + 5
 	TypeStatusRequest = wire.TypeRangePBFT + 6
 	TypeStatusReply   = wire.TypeRangePBFT + 7
+	TypeProposalProof = wire.TypeRangePBFT + 8
+	TypeEvidence      = wire.TypeRangePBFT + 9
 )
 
 // voteKind distinguishes the digests signed in each phase so a prepare
@@ -109,6 +111,24 @@ func decodePrePrepare(d *wire.Decoder) (wire.Message, error) {
 // signDigest returns what the leader signs for a pre-prepare.
 func (m *PrePrepare) signDigest() crypto.Hash {
 	return voteDigest(kindPrePrepare, m.View, m.Seq, m.Digest)
+}
+
+// Equivocate implements the fault injector's Equivocator interface: it
+// returns a conflicting pre-prepare for the same (view, seq) — a distinct
+// digest derived from the original, correctly signed by signer, carrying
+// the same payload. Victims accept it as authentic, but its digest can
+// never validate against the application, and the two signed digests
+// together are self-authenticating equivocation evidence.
+func (m *PrePrepare) Equivocate(signer crypto.Signer) wire.Message {
+	fork := &PrePrepare{
+		View:    m.View,
+		Seq:     m.Seq,
+		Digest:  crypto.HashBytes(m.Digest[:]),
+		Payload: m.Payload,
+		Leader:  m.Leader,
+	}
+	fork.Sig = signer.Sign(fork.signDigest())
+	return fork
 }
 
 // Prepare is a phase-2 vote.
@@ -394,6 +414,91 @@ func (m *StatusReply) signDigest() crypto.Hash {
 	return voteDigest(kindStatus, m.View, m.LastExec, crypto.ZeroHash)
 }
 
+// ProposalProof relays one leader-signed proposal half so peers holding a
+// conflicting half can assemble Evidence. A replica broadcasts it when
+// verified peer votes name a different digest than the leader-signed
+// proposal it holds for a slot: one vote is suspicion, not proof, so the
+// replica publishes its half instead of accusing. The proof carries no
+// reporter signature — its only load-bearing content is the leader's own
+// signature, which every receiver re-verifies.
+type ProposalProof struct {
+	View   uint64
+	Seq    uint64
+	Digest crypto.Hash
+	Leader wire.NodeID
+	Sig    []byte // the leader's pre-prepare signature over (View, Seq, Digest)
+}
+
+var _ wire.Message = (*ProposalProof)(nil)
+
+// Type implements wire.Message.
+func (m *ProposalProof) Type() wire.Type { return TypeProposalProof }
+
+// WireSize implements wire.Message.
+func (m *ProposalProof) WireSize() int {
+	return wire.FrameOverhead + 8 + 8 + 32 + 4 + wire.SizeVarBytes(m.Sig)
+}
+
+// EncodeBody implements wire.Message.
+func (m *ProposalProof) EncodeBody(e *wire.Encoder) {
+	e.U64(m.View)
+	e.U64(m.Seq)
+	e.Bytes32(m.Digest)
+	e.Node(m.Leader)
+	e.VarBytes(m.Sig)
+}
+
+func decodeProposalProof(d *wire.Decoder) (wire.Message, error) {
+	m := &ProposalProof{View: d.U64(), Seq: d.U64(), Digest: d.Bytes32(), Leader: d.Node(), Sig: d.VarBytes()}
+	return m, d.Err()
+}
+
+// Evidence proves leader equivocation: two distinct digests for the same
+// (view, seq), both carrying the leader's valid pre-prepare signature. It
+// is self-authenticating — receivers verify both signatures against the
+// view's leader — so any replica may originate it, and every honest
+// replica that verifies it counts the equivocation and votes the faulty
+// leader out.
+type Evidence struct {
+	View    uint64
+	Seq     uint64
+	Leader  wire.NodeID
+	DigestA crypto.Hash
+	SigA    []byte
+	DigestB crypto.Hash
+	SigB    []byte
+}
+
+var _ wire.Message = (*Evidence)(nil)
+
+// Type implements wire.Message.
+func (m *Evidence) Type() wire.Type { return TypeEvidence }
+
+// WireSize implements wire.Message.
+func (m *Evidence) WireSize() int {
+	return wire.FrameOverhead + 8 + 8 + 4 + 32 + wire.SizeVarBytes(m.SigA) + 32 + wire.SizeVarBytes(m.SigB)
+}
+
+// EncodeBody implements wire.Message.
+func (m *Evidence) EncodeBody(e *wire.Encoder) {
+	e.U64(m.View)
+	e.U64(m.Seq)
+	e.Node(m.Leader)
+	e.Bytes32(m.DigestA)
+	e.VarBytes(m.SigA)
+	e.Bytes32(m.DigestB)
+	e.VarBytes(m.SigB)
+}
+
+func decodeEvidence(d *wire.Decoder) (wire.Message, error) {
+	m := &Evidence{
+		View: d.U64(), Seq: d.U64(), Leader: d.Node(),
+		DigestA: d.Bytes32(), SigA: d.VarBytes(),
+		DigestB: d.Bytes32(), SigB: d.VarBytes(),
+	}
+	return m, d.Err()
+}
+
 var registerOnce sync.Once
 
 // RegisterMessages registers PBFT message types; idempotent.
@@ -406,5 +511,7 @@ func RegisterMessages() {
 		wire.Register(TypeNewView, "pbft.newview", decodeNewView)
 		wire.Register(TypeStatusRequest, "pbft.status_req", decodeStatusRequest)
 		wire.Register(TypeStatusReply, "pbft.status_reply", decodeStatusReply)
+		wire.Register(TypeProposalProof, "pbft.proposal_proof", decodeProposalProof)
+		wire.Register(TypeEvidence, "pbft.evidence", decodeEvidence)
 	})
 }

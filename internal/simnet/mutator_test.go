@@ -1,0 +1,144 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"predis/internal/wire"
+)
+
+// badframe always fails to deliver: it implements wire.Defective, the
+// marker the dispatcher consults on the zero-copy path.
+type badframe struct{ Size uint32 }
+
+const badframeType = wire.TypeRangeTest + 0x11
+
+func (b *badframe) Type() wire.Type            { return badframeType }
+func (b *badframe) WireSize() int              { return wire.FrameOverhead + int(b.Size) }
+func (b *badframe) EncodeBody(e *wire.Encoder) { e.Raw(make([]byte, b.Size)) }
+func (b *badframe) Defective() bool            { return true }
+
+func TestMutatorSubstitutesContentPerRecipient(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{Latency: UniformLatency(time.Millisecond)})
+	a, b, c := &recorder{}, &recorder{}, &recorder{}
+	n.AddNode(0, a)
+	n.AddNode(1, b)
+	n.AddNode(2, c)
+	n.SetMutator(func(from, to wire.NodeID, m wire.Message) wire.Message {
+		if from != 0 || to != 1 {
+			return nil // nil = leave this recipient's copy unchanged
+		}
+		p := m.(*ping)
+		return &ping{Seq: p.Seq + 100, Size: p.Size}
+	})
+	n.Start()
+	orig := &ping{Seq: 7}
+	a.ctx.Send(1, orig)
+	a.ctx.Send(2, orig)
+	n.Run(time.Second)
+
+	if len(b.got) != 1 || b.got[0].m.(*ping).Seq != 107 {
+		t.Fatalf("targeted recipient got %+v, want mutated Seq=107", b.got)
+	}
+	if len(c.got) != 1 || c.got[0].m.(*ping).Seq != 7 {
+		t.Fatalf("bystander got %+v, want original Seq=7", c.got)
+	}
+	if orig.Seq != 7 {
+		t.Fatal("mutator modified the sender's original message")
+	}
+}
+
+func TestMutatorDoesNotChangeTiming(t *testing.T) {
+	registerTestTypes()
+	// 1000 B/s uplink, 1000-byte frame: delivery at exactly t=1s. A
+	// mutator that swaps in a tiny message must not change that — the
+	// bandwidth charge belongs to the frame the sender serialized.
+	run := func(mutate bool) time.Duration {
+		n := New(Config{Uplink: 1000, Downlink: 0})
+		a, b := &recorder{}, &recorder{}
+		n.AddNode(0, a)
+		n.AddNode(1, b)
+		if mutate {
+			n.SetMutator(func(from, to wire.NodeID, m wire.Message) wire.Message {
+				return &ping{Seq: 99} // far smaller than the original
+			})
+		}
+		n.Start()
+		a.ctx.Send(1, &ping{Seq: 1, Size: 1000 - wire.FrameOverhead - 12})
+		n.Run(10 * time.Second)
+		if len(b.got) != 1 {
+			t.Fatalf("received %d messages", len(b.got))
+		}
+		return b.got[0].at.Sub(Epoch)
+	}
+	plain, mutated := run(false), run(true)
+	if plain != mutated {
+		t.Fatalf("mutation changed delivery time: %v vs %v", plain, mutated)
+	}
+	if plain != time.Second {
+		t.Fatalf("delivery at %v, want 1s", plain)
+	}
+}
+
+func TestDefectiveFrameBecomesCountedDrop(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{Latency: UniformLatency(time.Millisecond)})
+	a, b := &recorder{}, &recorder{}
+	n.AddNode(0, a)
+	n.AddNode(1, b)
+	n.Start()
+	a.ctx.Send(1, &badframe{Size: 64})
+	a.ctx.Send(1, &ping{Seq: 1})
+	n.Run(time.Second)
+
+	if len(b.got) != 1 || b.got[0].m.(*ping).Seq != 1 {
+		t.Fatalf("want only the decodable message delivered, got %+v", b.got)
+	}
+	d := n.Dropped()
+	if d.Undecodable != 1 {
+		t.Fatalf("Undecodable = %d, want 1", d.Undecodable)
+	}
+	if n.Sends() != n.Delivered()+d.Total() {
+		t.Fatalf("accounting broke: sends=%d delivered=%d dropped=%d",
+			n.Sends(), n.Delivered(), d.Total())
+	}
+}
+
+func TestCopyOnDeliverDecodeFailureIsCountedNotFatal(t *testing.T) {
+	registerTestTypes()
+	// CopyOnDeliver round-trips every frame through the codec; a frame
+	// whose body cannot decode must degrade to an Undecodable drop, never
+	// a panic. truncping encodes a lying length prefix.
+	n := New(Config{CopyOnDeliver: true, Latency: UniformLatency(time.Millisecond)})
+	a, b := &recorder{}, &recorder{}
+	n.AddNode(0, a)
+	n.AddNode(1, b)
+	n.Start()
+	a.ctx.Send(1, &truncping{})
+	a.ctx.Send(1, &ping{Seq: 2})
+	n.Run(time.Second)
+
+	if len(b.got) != 1 || b.got[0].m.(*ping).Seq != 2 {
+		t.Fatalf("want only the well-formed message delivered, got %d", len(b.got))
+	}
+	if d := n.Dropped(); d.Undecodable != 1 {
+		t.Fatalf("Undecodable = %d, want 1", d.Undecodable)
+	}
+}
+
+// truncping declares a larger body than it encodes, so decoding truncates.
+type truncping struct{}
+
+const truncpingType = wire.TypeRangeTest + 0x12
+
+func (p *truncping) Type() wire.Type            { return truncpingType }
+func (p *truncping) WireSize() int              { return wire.FrameOverhead + 4 }
+func (p *truncping) EncodeBody(e *wire.Encoder) { e.U32(16) } // promises 16 bytes, sends none
+
+func init() {
+	wire.Register(truncpingType, "simnet-truncping", func(d *wire.Decoder) (wire.Message, error) {
+		d.Raw(int(d.U32()))
+		return &truncping{}, d.Err()
+	})
+}

@@ -112,11 +112,15 @@ type DropCounts struct {
 	Filtered uint64
 	// Lost counts messages dropped by the random loss model.
 	Lost uint64
+	// Undecodable counts messages whose wire frame failed to decode at the
+	// receiver. A real runtime cannot hand a handler a frame it cannot
+	// parse, so a garbage frame degrades to a counted drop, never a panic.
+	Undecodable uint64
 }
 
 // Total returns the sum over all causes.
 func (d DropCounts) Total() uint64 {
-	return d.Unknown + d.Crashed + d.Partitioned + d.Filtered + d.Lost
+	return d.Unknown + d.Crashed + d.Partitioned + d.Filtered + d.Lost + d.Undecodable
 }
 
 // linkKey identifies a directed sender→receiver pair.
@@ -151,6 +155,7 @@ type Network struct {
 	crashed    map[wire.NodeID]bool
 	partition  func(from, to wire.NodeID) bool
 	dropFilter func(from, to wire.NodeID, m wire.Message) bool
+	mutator    func(from, to wire.NodeID, m wire.Message) wire.Message
 	lossRng    *rand.Rand
 
 	// sends counts Send calls by live senders; delivered counts messages
@@ -337,10 +342,20 @@ func (n *Network) dispatch(ev *event) {
 			return
 		}
 		msg := ev.msg
+		if d, ok := msg.(wire.Defective); ok && d.Defective() {
+			// Undecodable frame: a real runtime drops it at the codec, so
+			// the zero-copy fast path must never hand it to a handler.
+			n.drops.Undecodable++
+			return
+		}
 		if n.cfg.CopyOnDeliver {
 			cp, err := wire.Roundtrip(msg)
 			if err != nil {
-				panic(fmt.Sprintf("simnet: roundtrip %s: %v", wire.TypeName(msg.Type()), err))
+				// Same degradation as the real runtime: count the drop and
+				// move on. Panicking here would let one garbage frame kill
+				// the whole simulation.
+				n.drops.Undecodable++
+				return
 			}
 			msg = cp
 		}
@@ -474,6 +489,17 @@ func (n *Network) SetDropFilter(fn func(from, to wire.NodeID, m wire.Message) bo
 	n.dropFilter = fn
 }
 
+// SetMutator installs a per-recipient message mutator (for Byzantine
+// corruption experiments): it runs after the drop filters decide a message
+// will be delivered and may substitute a different message for this
+// recipient — returning nil or the original pointer leaves the message
+// unchanged. Mutators must return a fresh copy rather than modify the
+// original, because multicast hands the same pointer to every recipient.
+// Nil clears it.
+func (n *Network) SetMutator(fn func(from, to wire.NodeID, m wire.Message) wire.Message) {
+	n.mutator = fn
+}
+
 // latency returns one-way delay from a to b.
 func (n *Network) latency(from, to wire.NodeID) time.Duration {
 	if n.cfg.Latency == nil || from == to {
@@ -550,6 +576,14 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	if net.cfg.LossProbability > 0 && net.lossRng.Float64() < net.cfg.LossProbability {
 		net.drops.Lost++
 		return
+	}
+	if net.mutator != nil {
+		// Content substitution only: bandwidth was already charged for the
+		// frame the sender serialized, and transfer time below keeps using
+		// that size, so a mutator changes what arrives, never when.
+		if mm := net.mutator(s.id, to, m); mm != nil {
+			m = mm
+		}
 	}
 
 	lat := int64(net.latency(s.id, to))

@@ -153,8 +153,17 @@ func (d *Decoder) U8() uint8 {
 	return b[0]
 }
 
-// Bool reads a one-byte boolean.
-func (d *Decoder) Bool() bool { return d.U8() != 0 }
+// Bool reads a one-byte boolean. Encoders only ever emit 0 or 1, so any
+// other value marks a corrupt (non-canonical) frame and fails the decode;
+// accepting it would let two byte-different frames decode to the same
+// message.
+func (d *Decoder) Bool() bool {
+	b := d.U8()
+	if b > 1 && d.err == nil {
+		d.err = fmt.Errorf("wire: invalid bool byte %#02x at offset %d", b, d.off-1)
+	}
+	return b == 1
+}
 
 // U16 reads a big-endian uint16.
 func (d *Decoder) U16() uint16 {

@@ -39,6 +39,7 @@ const (
 	TypeRangeGossip   Type = 0x0700
 	TypeRangeClient   Type = 0x0800 // client submit / reply
 	TypeRangeTxPool   Type = 0x0900 // baseline batch proposals
+	TypeRangeFaults   Type = 0x7d00 // adversarial frames from the fault injector
 	TypeRangeTest     Type = 0x7f00
 )
 
@@ -59,6 +60,17 @@ type Message interface {
 // FrameOverhead is the per-message framing cost: a 2-byte type tag and a
 // 4-byte body length.
 const FrameOverhead = 6
+
+// Defective marks adversarial messages whose frames cannot be decoded: the
+// encoded body deliberately disagrees with what the decoder reads. A real
+// runtime can never hand such a frame to a handler — decode fails first —
+// so delivery paths that skip the codec for speed (the simulator's default
+// zero-copy mode) check this marker and degrade to a counted drop instead.
+type Defective interface {
+	Message
+	// Defective reports whether this message's frame fails to decode.
+	Defective() bool
+}
 
 // DecodeFunc decodes a message body previously written by EncodeBody.
 type DecodeFunc func(d *Decoder) (Message, error)
@@ -123,6 +135,7 @@ var (
 	ErrUnknownType = errors.New("wire: unknown message type")
 	ErrTruncated   = errors.New("wire: truncated message")
 	ErrOversize    = errors.New("wire: declared body length exceeds limit")
+	ErrTrailing    = errors.New("wire: trailing bytes after message body")
 )
 
 // MaxBodyLen bounds decoded message bodies; anything larger is rejected as
@@ -165,6 +178,12 @@ func Unmarshal(data []byte) (Message, int, error) {
 	}
 	if err := bd.Err(); err != nil {
 		return nil, 0, fmt.Errorf("wire: decode %s: %w", r.name, err)
+	}
+	// Encoding is canonical: a frame whose declared body is longer than
+	// what the decoder consumed is corrupt (or padded by an adversary to
+	// skew bandwidth accounting), not merely generous.
+	if bd.Remaining() > 0 {
+		return nil, 0, fmt.Errorf("%w: %s has %d", ErrTrailing, r.name, bd.Remaining())
 	}
 	return m, FrameOverhead + bodyLen, nil
 }
