@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke ci
+.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke ci
 
 # The kernel micro-benchmark set (bench_kernels_test.go at the repo
 # root): simnet scheduling, wire framing, erasure coding, merkle, and
@@ -15,14 +15,40 @@ build:
 vet:
 	go vet ./...
 
-# predis-lint: the repo's own go/analysis suite (tools/analyzers). It
-# enforces the simnet determinism contract, wire round-trip symmetry,
-# lock discipline in sim-visible code, and dropped-error hygiene on
-# wire/rtnet/ledger paths. Also usable as: go vet -vettool=$(shell
+# predis-lint: the repo's own go/analysis suite (tools/analyzers). The
+# per-function analyzers enforce the simnet determinism contract, wire
+# round-trip symmetry, lock discipline in sim-visible code, and
+# dropped-error hygiene; the interprocedural analyzers (detflow,
+# hotalloc, handlercomplete) chase taint and allocations through the
+# whole-program call graph. Also usable as: go vet -vettool=$(shell
 # pwd)/bin/predis-lint ./... after `go build -o bin/predis-lint
 # ./cmd/predis-lint`.
 lint:
 	go run ./cmd/predis-lint ./...
+
+# lint-fast: lint only the packages whose Go files changed vs
+# origin/main (committed, staged, or untracked). Fixture packages under
+# testdata carry intentional violations and are skipped; when
+# origin/main is unavailable (fresh or shallow clone) the full suite
+# runs instead. Note the interprocedural analyzers still load each
+# changed package's dependencies, so cross-package taint is intact —
+# only unrelated packages are skipped.
+lint-fast:
+	@base=$$(git merge-base origin/main HEAD 2>/dev/null); \
+	if [ -z "$$base" ]; then \
+		echo "lint-fast: origin/main unavailable, running full suite"; \
+		go run ./cmd/predis-lint ./...; exit $$?; \
+	fi; \
+	pkgs=$$( { git diff --name-only "$$base" HEAD -- '*.go'; \
+	           git diff --name-only -- '*.go'; \
+	           git ls-files --others --exclude-standard -- '*.go'; } \
+		| xargs -r -n1 dirname | sort -u | grep -v testdata \
+		| while read -r d; do [ -d "$$d" ] && echo "./$$d"; done; true); \
+	if [ -z "$$pkgs" ]; then \
+		echo "lint-fast: no changed Go packages vs origin/main"; exit 0; \
+	fi; \
+	echo "lint-fast:" $$pkgs; \
+	go run ./cmd/predis-lint $$pkgs
 
 test:
 	go test ./...

@@ -25,6 +25,8 @@ func initMulTable() {
 }
 
 // mulAndAdd computes dst[i] ^= c·src[i] over len(src) bytes.
+//
+//predis:hotpath
 func mulAndAdd(dst, src []byte, c byte) {
 	switch c {
 	case 0:
@@ -41,6 +43,8 @@ func mulAndAdd(dst, src []byte, c byte) {
 }
 
 // mulSet computes dst[i] = c·src[i] over len(src) bytes.
+//
+//predis:hotpath
 func mulSet(dst, src []byte, c byte) {
 	switch c {
 	case 0:
@@ -58,6 +62,8 @@ func mulSet(dst, src []byte, c byte) {
 }
 
 // xorBytes computes dst[i] ^= src[i] over len(src) bytes, word-wide.
+//
+//predis:hotpath
 func xorBytes(dst, src []byte) {
 	dst = dst[:len(src)]
 	i := 0
@@ -71,6 +77,8 @@ func xorBytes(dst, src []byte) {
 }
 
 // clearBytes zeroes b (compiles to a memclr).
+//
+//predis:hotpath
 func clearBytes(b []byte) {
 	for i := range b {
 		b[i] = 0

@@ -333,6 +333,8 @@ func (n *Network) setNow(ns int64) {
 
 // dispatch runs one (non-canceled) event. The event is still owned by
 // the caller, which recycles it after dispatch returns.
+//
+//predis:hotpath
 func (n *Network) dispatch(ev *event) {
 	switch ev.kind {
 	case evDeliver:
@@ -375,6 +377,8 @@ func (n *Network) dispatch(ev *event) {
 
 // Run processes events until the virtual deadline (relative to the epoch)
 // passes or the event queue drains. It returns the number of events run.
+//
+//predis:hotpath
 func (n *Network) Run(until time.Duration) int {
 	deadline := int64(until)
 	count := 0
@@ -401,6 +405,8 @@ func (n *Network) Run(until time.Duration) int {
 // RunUntilIdle processes every pending event regardless of time. It is
 // useful for propagation-latency experiments that end when the network
 // quiesces. maxEvents bounds runaway protocols; 0 means no bound.
+//
+//predis:hotpath
 func (n *Network) RunUntilIdle(maxEvents int) int {
 	count := 0
 	for n.q.len() > 0 {
@@ -421,6 +427,8 @@ func (n *Network) RunUntilIdle(maxEvents int) int {
 // schedule enqueues an event at ns nanoseconds after the epoch (clamped
 // to now), taking a recycled event from the free list when one is
 // available: in steady state scheduling allocates nothing.
+//
+//predis:hotpath
 func (n *Network) schedule(ns int64, node wire.NodeID, kind eventKind, fn func()) *event {
 	if ns < n.nowNs {
 		ns = n.nowNs
@@ -536,6 +544,8 @@ func (s *simNode) Logf(format string, args ...any) {
 // receiver's downlink for the message's WireSize and schedules delivery.
 // The charging policy is uniform across every drop path — see "Send
 // accounting" in the package comment.
+//
+//predis:hotpath
 func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	net := s.net
 	if net.crashed[s.id] {
@@ -620,6 +630,8 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 // dispatch rather than a wrapper closure, and the returned handle is
 // bump-allocated from a slab, so steady-state timer churn costs
 // ~1/timerSlabSize allocations per call.
+//
+//predis:hotpath
 func (s *simNode) After(d time.Duration, fn func()) env.Timer {
 	if d < 0 {
 		d = 0
@@ -632,7 +644,7 @@ func (s *simNode) After(d time.Duration, fn func()) env.Timer {
 // newTimer hands out a simTimer handle snapshotting ev's generation.
 func (n *Network) newTimer(ev *event) *simTimer {
 	if len(n.timerSlab) == cap(n.timerSlab) {
-		n.timerSlab = make([]simTimer, 0, timerSlabSize)
+		n.timerSlab = make([]simTimer, 0, timerSlabSize) //predis:allocok slab refill, amortized to ~1/256 per After
 	}
 	n.timerSlab = append(n.timerSlab, simTimer{ev: ev, gen: ev.gen})
 	return &n.timerSlab[len(n.timerSlab)-1]

@@ -97,7 +97,7 @@ func (e *Encoder) NodeSlice(vs []NodeID) {
 // Skip reserves n zero bytes and returns their offset for later patching.
 func (e *Encoder) Skip(n int) int {
 	at := len(e.buf)
-	e.buf = append(e.buf, make([]byte, n)...)
+	e.buf = append(e.buf, make([]byte, n)...) //predis:allocok compiler-recognized extend pattern: no intermediate slice is materialized
 	return at
 }
 

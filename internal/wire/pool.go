@@ -10,6 +10,8 @@ import (
 // Marshal: callers that own a reusable buffer (the TCP runtime's write
 // path, the simulator's copy-on-deliver roundtrip, digest computation)
 // avoid a fresh exact-size allocation per message.
+//
+//predis:hotpath
 func MarshalAppend(dst []byte, m Message) []byte {
 	e := Encoder{buf: dst}
 	e.U16(uint16(m.Type()))
@@ -49,6 +51,8 @@ func putEncoder(e *Encoder) {
 // encoded frame, and recycles the buffer. The frame is only valid for
 // the duration of fn and must not be retained (hash it, copy it, write
 // it out — then let go).
+//
+//predis:hotpath
 func WithFrame(m Message, fn func(frame []byte)) {
 	e := getEncoder()
 	e.buf = MarshalAppend(e.buf, m)

@@ -191,7 +191,11 @@ func Unmarshal(data []byte) (Message, int, error) {
 // Roundtrip marshals then unmarshals a message. It began life as a test
 // helper but is also the simulator's copy-on-deliver path, so the
 // intermediate frame lives in a pooled scratch buffer: decoding copies
-// every retained byte, which makes immediate reuse safe.
+// every retained byte, which makes immediate reuse safe. The decode side
+// allocates the fresh message by design, which is why this is a cold
+// path even though dispatch calls it under CopyOnDeliver.
+//
+//predis:coldpath
 func Roundtrip(m Message) (Message, error) {
 	e := getEncoder()
 	out, buf, err := RoundtripAppend(e.buf, m)

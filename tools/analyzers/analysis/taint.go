@@ -1,0 +1,314 @@
+// Forward dataflow over the call graph: per-function summary bits
+// ("facts") seeded at direct sites and propagated caller-ward to a
+// fixpoint. Cycles (mutual recursion) terminate because facts are
+// monotone booleans over a finite node set — the worklist re-enqueues a
+// caller only when its fact set actually grows.
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Standard fact names. These are the summaries cached as vetx-style
+// facts in `go vet -vettool` mode, so that per-package unit checking
+// sees through dependency packages whose bodies are not reloaded.
+const (
+	// FactWallClock: the function (transitively) reads the wall clock
+	// via the forbidden time package functions.
+	FactWallClock = "wallclock"
+	// FactGlobalRand: the function (transitively) draws from the global
+	// math/rand source.
+	FactGlobalRand = "globalrand"
+	// FactEmission: the function (transitively) emits sim-visible
+	// events: a call named Send/After/Multicast/Record*.
+	FactEmission = "emission"
+	// FactAllocates: the function (transitively, through static calls,
+	// cold paths excluded) performs an unwaived heap allocation.
+	FactAllocates = "allocates"
+	// FactColdPath: the function carries a predis:coldpath directive.
+	FactColdPath = "coldpath"
+)
+
+// WallClockSources are the time package functions that read or act on
+// the wall clock (shared with the per-function determinism analyzer's
+// intent; pure constructors stay allowed).
+var WallClockSources = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// AllowedRandConstructors are math/rand package-level functions that do
+// not touch the global source.
+var AllowedRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// IsWallClockKey reports whether a callee key is a forbidden time
+// package function, returning its short name.
+func IsWallClockKey(key string) (string, bool) {
+	name, ok := strings.CutPrefix(key, "time.")
+	if !ok || !WallClockSources[name] {
+		return "", false
+	}
+	return "time." + name, true
+}
+
+// IsGlobalRandKey reports whether a callee key is a global-source
+// math/rand (or math/rand/v2) package-level function.
+func IsGlobalRandKey(key string) (string, bool) {
+	for _, prefix := range []string{"math/rand/v2.", "math/rand."} {
+		if name, ok := strings.CutPrefix(key, prefix); ok {
+			if !strings.Contains(name, ")") && !AllowedRandConstructors[name] {
+				return prefix + name, true
+			}
+			return "", false
+		}
+	}
+	return "", false
+}
+
+// IsEmissionName reports whether a call site name is an emission:
+// message sends, event scheduling, stats recording. Name-based, exactly
+// like the per-function determinism analyzer.
+func IsEmissionName(name string) bool {
+	switch name {
+	case "Send", "After", "Multicast":
+		return true
+	}
+	return strings.HasPrefix(name, "Record")
+}
+
+// Taint is the result of one fact's propagation over the program.
+type Taint struct {
+	prog *Program
+	fact string
+	// hops maps a tainted node to how taint reached it.
+	hops map[*FuncNode]taintHop
+}
+
+type taintHop struct {
+	// direct describes a source inside the function itself ("" when the
+	// taint arrived through a callee).
+	direct string
+	pos    token.Pos
+	// via is the callee key the taint arrived through.
+	via string
+}
+
+// FollowFunc decides whether taint may flow from a callee reached at
+// site back into caller n. Policy layers use it to stop at trusted
+// boundaries (exempt-package interfaces, cold paths).
+type FollowFunc func(n *FuncNode, site *CallSite, calleeKey string) bool
+
+// DirectFunc inspects one node and reports a direct source description
+// ("" if none) with its position.
+type DirectFunc func(n *FuncNode) (string, token.Pos)
+
+// Propagate computes the fixpoint of fact over the program: direct
+// seeds each node, then taint flows callee->caller along every edge
+// follow admits. External facts (imported vetx summaries) participate
+// as always-tainted callee keys.
+func (p *Program) Propagate(fact string, direct DirectFunc, follow FollowFunc) *Taint {
+	t := &Taint{prog: p, fact: fact, hops: make(map[*FuncNode]taintHop)}
+	var work []*FuncNode
+
+	// Seed: direct sources and edges to external tainted keys.
+	for _, n := range p.Nodes() {
+		if desc, pos := direct(n); desc != "" {
+			t.hops[n] = taintHop{direct: desc, pos: pos}
+			work = append(work, n)
+			continue
+		}
+		for _, site := range n.Calls {
+			for _, key := range site.Targets {
+				if p.nodes[key] != nil {
+					continue // internal: handled by propagation
+				}
+				if _, ok := p.facts.Get(fact, key); ok && (follow == nil || follow(n, site, key)) {
+					t.hops[n] = taintHop{via: key, pos: site.Pos}
+					work = append(work, n)
+					break
+				}
+			}
+			if _, tainted := t.hops[n]; tainted {
+				break
+			}
+		}
+	}
+
+	// Fixpoint: a newly tainted callee taints its callers.
+	for len(work) > 0 {
+		callee := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, caller := range p.CallersOf(callee.Key) {
+			if _, done := t.hops[caller]; done {
+				continue
+			}
+			admitted := false
+			var at token.Pos
+			for _, site := range caller.Calls {
+				for _, key := range site.Targets {
+					if key == callee.Key && (follow == nil || follow(caller, site, key)) {
+						admitted = true
+						at = site.Pos
+						break
+					}
+				}
+				if admitted {
+					break
+				}
+			}
+			if admitted {
+				t.hops[caller] = taintHop{via: callee.Key, pos: at}
+				work = append(work, caller)
+			}
+		}
+	}
+	return t
+}
+
+// Tainted reports whether n carries the fact.
+func (t *Taint) Tainted(n *FuncNode) bool {
+	_, ok := t.hops[n]
+	return ok
+}
+
+// TaintedKey reports whether the function with the given key carries
+// the fact, consulting external facts for functions outside the load.
+func (t *Taint) TaintedKey(key string) bool {
+	if n := t.prog.nodes[key]; n != nil {
+		return t.Tainted(n)
+	}
+	_, ok := t.prog.facts.Get(t.fact, key)
+	return ok
+}
+
+// Direct returns the description of n's own source site, or "".
+func (t *Taint) Direct(n *FuncNode) string { return t.hops[n].direct }
+
+// Chain renders the witness path from n to the source, e.g.
+// "emit -> flush -> ctx.Send". Cycles are cut; length is capped.
+func (t *Taint) Chain(n *FuncNode) string {
+	var parts []string
+	seen := make(map[string]bool)
+	cur := n
+	for steps := 0; steps < 12; steps++ {
+		hop, ok := t.hops[cur]
+		if !ok {
+			break
+		}
+		if hop.direct != "" {
+			parts = append(parts, hop.direct)
+			break
+		}
+		if seen[hop.via] {
+			break
+		}
+		seen[hop.via] = true
+		next := t.prog.nodes[hop.via]
+		if next == nil {
+			// External function: splice in its recorded witness.
+			if w, ok := t.prog.facts.Get(t.fact, hop.via); ok && w != "" {
+				parts = append(parts, shortKey(hop.via)+" -> "+w)
+			} else {
+				parts = append(parts, shortKey(hop.via))
+			}
+			break
+		}
+		parts = append(parts, shortKey(hop.via))
+		cur = next
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// ChainKey renders the witness path for the function with the given
+// key, prefixed by the function's own short name. External functions
+// render their recorded fact witness.
+func (t *Taint) ChainKey(key string) string {
+	if n := t.prog.nodes[key]; n != nil {
+		if rest := t.Chain(n); rest != "" {
+			return shortKey(key) + " -> " + rest
+		}
+		return shortKey(key)
+	}
+	if w, ok := t.prog.facts.Get(t.fact, key); ok && w != "" {
+		return shortKey(key) + " -> " + w
+	}
+	return shortKey(key)
+}
+
+// shortKey strips the package path from a node key for readable chains:
+// "(*predis/internal/simnet.Network).schedule" -> "(*Network).schedule".
+func shortKey(key string) string {
+	pkg := PkgOfKey(key)
+	if i := strings.LastIndex(pkg, "/"); i >= 0 {
+		// Keep the last path segment as a package hint.
+		return strings.Replace(key, pkg, pkg[i+1:], 1)
+	}
+	return key
+}
+
+// PathStep records how a node was reached in a forward traversal.
+type PathStep struct {
+	From *FuncNode // caller (nil for roots)
+	Pos  token.Pos // call site in From
+}
+
+// Reachable walks the graph forward from roots along the edges follow
+// admits and returns every reached node with its discovery step. The
+// traversal is deterministic (node order, then call order).
+func (p *Program) Reachable(roots []*FuncNode, follow FollowFunc) map[*FuncNode]PathStep {
+	out := make(map[*FuncNode]PathStep)
+	var queue []*FuncNode
+	for _, r := range roots {
+		if _, ok := out[r]; !ok {
+			out[r] = PathStep{}
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, site := range n.Calls {
+			for _, key := range site.Targets {
+				callee := p.nodes[key]
+				if callee == nil {
+					continue
+				}
+				if _, ok := out[callee]; ok {
+					continue
+				}
+				if follow != nil && !follow(n, site, key) {
+					continue
+				}
+				out[callee] = PathStep{From: n, Pos: site.Pos}
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return out
+}
+
+// RootChain renders the call path from a hot root down to n:
+// "Send -> schedule -> alloc".
+func RootChain(reached map[*FuncNode]PathStep, n *FuncNode) string {
+	var parts []string
+	for cur := n; cur != nil; {
+		parts = append(parts, shortKey(cur.Key))
+		step, ok := reached[cur]
+		if !ok {
+			break
+		}
+		cur = step.From
+		if len(parts) > 12 {
+			break
+		}
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, " -> ")
+}

@@ -1,0 +1,231 @@
+// Package handlercomplete checks dispatch exhaustiveness for wire
+// messages. A protocol package that dispatches on wire.Message with a
+// type switch must handle every message type it defines: a new message
+// kind (PR 6's equivocation evidence, refetch/quarantine traffic) that
+// is registered for decoding but missing from the receive switch would
+// otherwise be decoded and silently dropped at runtime — invisible to
+// tests that never send it.
+//
+// Rules, per package:
+//
+//  1. Scope gate: the package contains at least one type switch whose
+//     operand is (or implements) wire.Message. Packages that only
+//     define passive record types (types, txpool, topology) are out of
+//     scope.
+//  2. Every non-test named type in the package implementing
+//     wire.Message must appear as a case in some wire.Message type
+//     switch of the package, or be extracted via a type assertion on a
+//     wire.Message-typed operand (the payload pattern: consensus
+//     payloads ride inside proposal messages and are asserted out).
+//  3. Every wire.Message type switch carries a default case, so
+//     foreign or future message kinds are observed, not ignored.
+package handlercomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"predis/tools/analyzers/analysis"
+)
+
+// WirePath is the import path of the wire package that defines Message.
+const WirePath = "predis/internal/wire"
+
+// Analyzer is the handler-exhaustiveness check.
+var Analyzer = &analysis.Analyzer{
+	Name: "handlercomplete",
+	Doc: "every wire.Message type defined in a dispatching package must be " +
+		"matched by a case in that package's receive type switches, and every " +
+		"such switch must have a default case",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	iface := messageInterface(pass)
+	if iface == nil {
+		return nil
+	}
+
+	// handled collects the types matched by switch cases or extracted by
+	// type assertions on wire.Message operands. Test files are excluded
+	// throughout: a partial switch in a test sink asserts on a subset of
+	// traffic by design and is not a dispatch path.
+	handled := make(map[types.Type]bool)
+	var switches []*ast.TypeSwitchStmt
+	for _, f := range pass.Syntax {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.TypeSwitchStmt:
+				if operandIsMessage(pass, n, iface) {
+					switches = append(switches, n)
+					collectCases(pass, n, handled)
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type == nil {
+					return true // x.(type) inside a switch, handled above
+				}
+				if tv, ok := pass.Info.Types[n.X]; ok && types.Implements(tv.Type, iface) {
+					if tt, ok := pass.Info.Types[n.Type]; ok {
+						handled[deref(tt.Type)] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(switches) == 0 {
+		return nil // package does not dispatch wire messages
+	}
+
+	// Rule 3: every dispatch switch needs a default case.
+	for _, sw := range switches {
+		if !hasDefault(sw) {
+			pass.Reportf(sw.Pos(), "wire.Message type switch without default case: unknown message kinds would be silently ignored")
+		}
+	}
+
+	// Rule 2: every local message type must be handled somewhere.
+	scope := pass.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok || named.TypeParams().Len() > 0 {
+			continue
+		}
+		if _, isIface := named.Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if pass.Fset != nil && isTestDecl(pass, tn) {
+			continue
+		}
+		if !types.Implements(named, iface) && !types.Implements(types.NewPointer(named), iface) {
+			continue
+		}
+		if !handled[named] {
+			pass.Reportf(tn.Pos(), "message type %s implements wire.Message but no receive type switch in this package handles it", name)
+		}
+	}
+	return nil
+}
+
+// messageInterface resolves wire.Message for the current package, or
+// for a fixture package that defines its own wire/ subpackage. Returns
+// nil when the package has no path to a wire.Message interface.
+func messageInterface(pass *analysis.Pass) *types.Interface {
+	for _, path := range []string{WirePath, wireFixturePath(pass.PkgPath)} {
+		if path == "" {
+			continue
+		}
+		pkg := pass.Lookup(path)
+		if pkg == nil && pass.Types.Path() == path {
+			pkg = pass.Types
+		}
+		if pkg == nil {
+			continue
+		}
+		if tn, ok := pkg.Scope().Lookup("Message").(*types.TypeName); ok {
+			if iface, ok := tn.Type().Underlying().(*types.Interface); ok {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// wireFixturePath maps a testdata fixture package to its sibling wire
+// package ("a/b/handlercomplete/proto" -> "a/b/handlercomplete/wire"),
+// letting fixtures exercise the analyzer without importing the real
+// module wire package.
+func wireFixturePath(pkgPath string) string {
+	if !analysis.PathHasSegment(pkgPath, "testdata") {
+		return ""
+	}
+	if i := lastSlash(pkgPath); i >= 0 {
+		return pkgPath[:i] + "/wire"
+	}
+	return ""
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+// operandIsMessage reports whether the switch's operand is typed as (or
+// implements) the message interface.
+func operandIsMessage(pass *analysis.Pass, sw *ast.TypeSwitchStmt, iface *types.Interface) bool {
+	var operand ast.Expr
+	switch st := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(st.Rhs) == 1 {
+			if ta, ok := st.Rhs[0].(*ast.TypeAssertExpr); ok {
+				operand = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := st.X.(*ast.TypeAssertExpr); ok {
+			operand = ta.X
+		}
+	}
+	if operand == nil {
+		return false
+	}
+	tv, ok := pass.Info.Types[operand]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Implements(tv.Type, iface) || types.Identical(tv.Type.Underlying(), iface)
+}
+
+// collectCases records the named types matched by the switch's cases.
+func collectCases(pass *analysis.Pass, sw *ast.TypeSwitchStmt, handled map[types.Type]bool) {
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+				handled[deref(tv.Type)] = true
+			}
+		}
+	}
+}
+
+// deref maps *T to T so pointer and value cases count the same.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// hasDefault reports whether the switch has a default clause.
+func hasDefault(sw *ast.TypeSwitchStmt) bool {
+	for _, stmt := range sw.Body.List {
+		if cc, ok := stmt.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestDecl reports whether the type is declared in a _test.go file.
+func isTestDecl(pass *analysis.Pass, tn *types.TypeName) bool {
+	pos := pass.Fset.Position(tn.Pos())
+	return hasSuffix(pos.Filename, "_test.go")
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,13 @@
+package handlercomplete_test
+
+import (
+	"testing"
+
+	"predis/tools/analyzers/analysis"
+	"predis/tools/analyzers/handlercomplete"
+)
+
+func TestHandlercompleteFixture(t *testing.T) {
+	analysis.RunFixture(t, "../testdata",
+		[]*analysis.Analyzer{handlercomplete.Analyzer}, "./handlercomplete/...")
+}

@@ -5,8 +5,11 @@ package suite
 import (
 	"predis/tools/analyzers/analysis"
 	"predis/tools/analyzers/determinism"
+	"predis/tools/analyzers/detflow"
 	"predis/tools/analyzers/encodecache"
 	"predis/tools/analyzers/errchecklite"
+	"predis/tools/analyzers/handlercomplete"
+	"predis/tools/analyzers/hotalloc"
 	"predis/tools/analyzers/lockorder"
 	"predis/tools/analyzers/purecompute"
 	"predis/tools/analyzers/wiresym"
@@ -16,8 +19,11 @@ import (
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		determinism.Analyzer,
+		detflow.Analyzer,
 		encodecache.Analyzer,
 		errchecklite.Analyzer,
+		handlercomplete.Analyzer,
+		hotalloc.Analyzer,
 		lockorder.Analyzer,
 		purecompute.Analyzer,
 		wiresym.Analyzer,

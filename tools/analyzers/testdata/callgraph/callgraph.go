@@ -1,0 +1,56 @@
+// Package callgraph exercises the call-graph builder's edge cases:
+// interface dispatch (CHA), method values bound to locals, closures
+// capturing receivers, and recursive cycles. The callgraph_test.go in
+// the analysis package asserts over the graph built from this file.
+package callgraph
+
+import "time"
+
+type ticker interface{ tick() int64 }
+
+type wallTicker struct{}
+
+func (wallTicker) tick() int64 { return time.Now().UnixNano() }
+
+type fixedTicker struct{ v int64 }
+
+func (f fixedTicker) tick() int64 { return f.v }
+
+// viaIface dispatches through the interface: CHA must produce edges to
+// both implementations, and wall-clock taint must flow back.
+func viaIface(t ticker) int64 { return t.tick() }
+
+// viaMethodValue binds a method value to a local and calls it; the
+// bound edge must resolve to wallTicker.tick.
+func viaMethodValue(w wallTicker) int64 {
+	f := w.tick
+	return f()
+}
+
+type holder struct{ t wallTicker }
+
+// viaClosure returns a literal capturing the receiver: the literal's
+// calls merge into this node, and the capture is an allocation site.
+func (h *holder) viaClosure() func() int64 {
+	return func() int64 { return h.t.tick() }
+}
+
+// pingPong and pong are mutually recursive with a clock at the bottom:
+// the taint fixpoint must terminate and taint both.
+func pingPong(n int) int64 {
+	if n <= 0 {
+		return time.Now().UnixNano()
+	}
+	return pong(n - 1)
+}
+
+func pong(n int) int64 { return pingPong(n) }
+
+// clean only ever reaches the fixed ticker: no taint.
+func clean(f fixedTicker) int64 { return f.tick() }
+
+var _ = viaIface
+var _ = viaMethodValue
+var _ = (*holder).viaClosure
+var _ = pong
+var _ = clean

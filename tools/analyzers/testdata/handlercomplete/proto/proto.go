@@ -1,0 +1,67 @@
+// Package proto is the fixture for the handler-exhaustiveness check: a
+// dispatching package (it switches on wire.Message) that registers one
+// message type its receive path never handles.
+package proto
+
+import (
+	wire "predis/tools/analyzers/testdata/handlercomplete/wire"
+)
+
+// Ping is handled by the main switch.
+type Ping struct{}
+
+// Kind implements wire.Message.
+func (*Ping) Kind() uint16 { return 1 }
+
+// Pong implements wire.Message but no switch or assertion in this
+// package ever matches it: a decoded Pong would be silently dropped.
+type Pong struct{} // want "no receive type switch in this package handles it"
+
+// Kind implements wire.Message.
+func (*Pong) Kind() uint16 { return 2 }
+
+// Blob is a payload message: it rides inside other messages and is
+// extracted by type assertion rather than a switch case.
+type Blob struct{ Data []byte }
+
+// Kind implements wire.Message.
+func (*Blob) Kind() uint16 { return 3 }
+
+// Node dispatches received messages.
+type Node struct {
+	pings int
+	blobs int
+}
+
+// Receive is the main dispatch path: a case per handled kind plus the
+// mandatory default.
+func (n *Node) Receive(m wire.Message) {
+	switch m.(type) {
+	case *Ping:
+		n.pings++
+	default:
+		// Unknown kind observed, not dropped.
+	}
+}
+
+// onPayload extracts a payload message by assertion — the sanctioned
+// pattern for messages that ride inside proposals.
+func (n *Node) onPayload(m wire.Message) {
+	if b, ok := m.(*Blob); ok {
+		n.blobs += len(b.Data)
+	}
+}
+
+// peek dispatches without a default case: unknown message kinds would
+// vanish without a trace.
+func peek(m wire.Message) bool {
+	switch m.(type) { // want "without default case"
+	case *Ping:
+		return true
+	}
+	return false
+}
+
+var _ = (*Node).Receive
+var _ = (*Node).onPayload
+var _ = peek

@@ -1,0 +1,10 @@
+// Package wire is the message-contract stand-in for the
+// handlercomplete fixture: the analyzer resolves the sibling wire
+// package of a fixture dispatch package the same way it resolves the
+// real predis/internal/wire.
+package wire
+
+// Message is the fixture's wire message contract.
+type Message interface {
+	Kind() uint16
+}

@@ -1,0 +1,100 @@
+// Package hotalloc is the fixture for the hot-path allocation guard:
+// roots are marked //predis:hotpath, and every unwaived allocation in
+// functions statically reachable from them must be flagged — including
+// allocations several calls below the root, which a per-function check
+// cannot connect to the zero-alloc contract.
+package hotalloc
+
+// event is a pooled record.
+type event struct{ at int64 }
+
+type sim struct {
+	free []*event
+	sink any
+	buf  []byte
+}
+
+// take pops the free list, falling back to the heap; the fallback is a
+// sanctioned free-list miss.
+func (s *sim) take() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{} //predis:allocok free-list miss, steady state reuses
+}
+
+// spare grabs a fresh event unconditionally: an unwaived allocation one
+// call below the root.
+func (s *sim) spare() *event {
+	return new(event) // want "new"
+}
+
+// record boxes its argument into the any-typed sink: an allocation two
+// frames below the root, invisible to any per-function check of the
+// root itself.
+func (s *sim) record(at int64) {
+	s.sink = at // want "interface boxing"
+}
+
+// grow refills the free list; reached from a hot root, so the make is
+// flagged.
+func (s *sim) grow() {
+	s.free = append(s.free, make([]*event, 4)...) // want "make"
+}
+
+// schedule is a hot-path root.
+//
+//predis:hotpath
+func (s *sim) schedule(at int64) *event {
+	ev := s.take()
+	ev.at = at
+	s.record(at)
+	_ = s.spare()
+	s.grow()
+	_ = s.dump()
+	return ev
+}
+
+// encode appends a frame; the conversion allocates.
+func (s *sim) encode(name string) {
+	s.buf = append(s.buf, []byte(name)...) // want "string conversion"
+}
+
+// flush is a hot root calling through a locally bound method value (the
+// binding itself boxes the receiver, and the callee's allocation is
+// still found through the bound edge).
+//
+//predis:hotpath
+func (s *sim) flush() {
+	enc := s.encode // want "method value"
+	enc("frame")
+}
+
+// later returns a deferred action; the literal captures s and at, which
+// heap-allocates the closure on the hot path.
+//
+//predis:hotpath
+func (s *sim) later(at int64) func() {
+	return func() { s.record(at) } // want "capturing closure"
+}
+
+// dump renders debug state. It is marked cold, so its allocations are
+// sanctioned even though schedule (a hot root) calls it.
+//
+//predis:coldpath
+func (s *sim) dump() string {
+	return string(s.buf) + "!"
+}
+
+// rebuild allocates freely but is unreachable from any hot root.
+func (s *sim) rebuild() {
+	s.free = make([]*event, 0, 64)
+	s.sink = "rebuilt"
+}
+
+var _ = (*sim).schedule
+var _ = (*sim).flush
+var _ = (*sim).later
+var _ = (*sim).rebuild
