@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke ci
+.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke exec-smoke ci
 
 # The kernel micro-benchmark set (bench_kernels_test.go at the repo
 # root): simnet scheduling, wire framing, erasure coding, merkle, and
@@ -118,14 +118,26 @@ byz-smoke:
 	go run -race ./cmd/predis-bench -quick byzantine >/dev/null
 	go run ./tools/replaydiff recovery
 
+# exec-smoke: the execution-plane gate, two halves. First the executor
+# and ledger under the race detector: dependency leveling, worker-count
+# invariance of state roots, serial-vs-parallel equality, and the
+# write-before-visibility ordering of ledger.Append. Then replaydiff on
+# the contention experiment: replay hash, per-height state roots, and
+# terminal output must be byte-identical between -workers 0 and
+# -workers 4 in separate processes.
+exec-smoke:
+	go test -race ./internal/exec/ ./internal/ledger/
+	go test -race -run 'TestContention' ./internal/harness/
+	go run ./tools/replaydiff contention
+
 # trace-smoke: run the quickstart experiment with -trace and validate the
 # emitted Chrome trace JSON parses and records at least one span for every
 # pipeline stage (submit, bundle_sealed, block_proposed, prepare_commit,
-# stripe_distributed, fullnode_delivered).
+# executed, stripe_distributed, fullnode_delivered).
 trace-smoke:
 	@mkdir -p bin
 	go run ./cmd/predis-bench -quick quickstart -trace -trace-out bin/trace-smoke.json -metrics-out bin/trace-smoke >/dev/null
 	go run ./tools/tracecheck bin/trace-smoke.json
 	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
 
-ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke
+ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke exec-smoke

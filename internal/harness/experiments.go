@@ -77,6 +77,7 @@ func Registry() []Experiment {
 		{"fig8", "Fig. 8: block propagation latency (star/random/Multi-Zone)", Fig8},
 		{"recovery", "Recovery: relayer & leader crash/restart — dip depth and time-to-recover", Recovery},
 		{"byzantine", "Byzantine: data-plane adversaries — Eq. 4 delivery sweep, attack windows, self-healing", Byzantine},
+		{"contention", "Contention: deterministic parallel execution vs serial under workload skew", Contention},
 	}
 }
 

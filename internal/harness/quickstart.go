@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"predis/internal/crypto"
+	"predis/internal/exec"
 	"predis/internal/multizone"
 	"predis/internal/node"
 	"predis/internal/obs"
@@ -30,9 +31,10 @@ type ObsSink struct {
 // a P-HS consensus group (Predis on HotStuff) with a Multi-Zone
 // full-node attachment, open-loop clients, and — when Options.Obs is
 // set — lifecycle tracing plus NIC/queue sampling. It is the smallest
-// deployment in which all six pipeline stages fire (submit,
-// bundle_sealed, block_proposed, prepare_commit, stripe_distributed,
-// fullnode_delivered), and it renders the per-stage latency breakdown
+// deployment in which all seven pipeline stages fire (submit,
+// bundle_sealed, block_proposed, prepare_commit, executed,
+// stripe_distributed, fullnode_delivered), and it renders the per-stage
+// latency breakdown
 // the paper's dataflow argument is about: consensus-side stages stay
 // flat while dissemination rides on pre-distribution.
 func Quickstart(o Options) ([]*stats.Table, error) {
@@ -92,6 +94,7 @@ func Quickstart(o Options) ([]*stats.Table, error) {
 			ReplyToClients: true,
 			Trace:          tracer,
 			Metrics:        registry,
+			Executor:       exec.NewMachine(execGenesis),
 			OnCommit: func(height uint64, txs int) {
 				if i == 0 {
 					col.RecordNodeCommit(net.Now(), txs)

@@ -23,18 +23,21 @@ import (
 
 // Entry is one committed block's record.
 type Entry struct {
-	Height  uint64
-	Hash    crypto.Hash
-	Parent  crypto.Hash
-	TxRoot  crypto.Hash
-	TxCount uint32
+	Height uint64
+	Hash   crypto.Hash
+	Parent crypto.Hash
+	TxRoot crypto.Hash
+	// StateRoot commits to the account state after executing this block
+	// (internal/exec); zero when the node runs without an executor.
+	StateRoot crypto.Hash
+	TxCount   uint32
 	// TxHashes is present when the ledger stores bodies.
 	TxHashes []crypto.Hash
 }
 
 // encodedSize returns the record body size on disk.
 func (e *Entry) encodedSize() int {
-	return 8 + 32 + 32 + 32 + 4 + 4 + 32*len(e.TxHashes)
+	return 8 + 32 + 32 + 32 + 32 + 4 + 4 + 32*len(e.TxHashes)
 }
 
 func (e *Entry) encodeTo(enc *wire.Encoder) {
@@ -42,6 +45,7 @@ func (e *Entry) encodeTo(enc *wire.Encoder) {
 	enc.Bytes32(e.Hash)
 	enc.Bytes32(e.Parent)
 	enc.Bytes32(e.TxRoot)
+	enc.Bytes32(e.StateRoot)
 	enc.U32(e.TxCount)
 	enc.U32(uint32(len(e.TxHashes)))
 	for _, h := range e.TxHashes {
@@ -51,11 +55,12 @@ func (e *Entry) encodeTo(enc *wire.Encoder) {
 
 func decodeEntry(d *wire.Decoder) (*Entry, error) {
 	e := &Entry{
-		Height:  d.U64(),
-		Hash:    d.Bytes32(),
-		Parent:  d.Bytes32(),
-		TxRoot:  d.Bytes32(),
-		TxCount: d.U32(),
+		Height:    d.U64(),
+		Hash:      d.Bytes32(),
+		Parent:    d.Bytes32(),
+		TxRoot:    d.Bytes32(),
+		StateRoot: d.Bytes32(),
+		TxCount:   d.U32(),
 	}
 	n := int(d.U32())
 	if err := d.Err(); err != nil {
@@ -173,8 +178,9 @@ func (l *Ledger) Close() error {
 	return err
 }
 
-// appendMem validates chain linkage and appends in memory.
-func (l *Ledger) appendMem(e Entry) error {
+// checkLink validates that e extends the in-memory chain. It does not
+// mutate anything.
+func (l *Ledger) checkLink(e *Entry) error {
 	if e.Height != uint64(len(l.entries))+1 {
 		return fmt.Errorf("%w: height %d, want %d", ErrOutOfOrder, e.Height, len(l.entries)+1)
 	}
@@ -185,33 +191,55 @@ func (l *Ledger) appendMem(e Entry) error {
 	} else if prev := l.entries[len(l.entries)-1]; e.Parent != prev.Hash {
 		return fmt.Errorf("%w: height %d", ErrBadParent, e.Height)
 	}
+	return nil
+}
+
+// commitMem appends a link-checked entry to the in-memory chain.
+func (l *Ledger) commitMem(e Entry) {
 	l.entries = append(l.entries, e)
 	l.byHash[e.Hash] = len(l.entries) - 1
+}
+
+// appendMem validates chain linkage and appends in memory (reload path:
+// the record is already durable).
+func (l *Ledger) appendMem(e Entry) error {
+	if err := l.checkLink(&e); err != nil {
+		return err
+	}
+	l.commitMem(e)
 	return nil
 }
 
 // Append records a committed block. Blocks must arrive in chain order.
+//
+// Durability runs ahead of visibility: the record is encoded and written
+// (and optionally fsynced) before the in-memory chain advances, so a
+// failed write leaves Len()/Head() — and therefore every reader and the
+// node's notion of its own history — exactly where the last durable
+// record left them. The previous ordering mutated memory first, and a
+// write error silently produced a node that believed in a block its
+// restart would never see.
 func (l *Ledger) Append(e Entry) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.appendMem(e); err != nil {
+	if err := l.checkLink(&e); err != nil {
 		return err
 	}
-	if l.file == nil {
-		return nil
-	}
-	enc := wire.NewEncoder(4 + e.encodedSize())
-	at := enc.Skip(4)
-	e.encodeTo(enc)
-	enc.PatchU32(at, uint32(enc.Len()-4))
-	if _, err := l.file.Write(enc.Bytes()); err != nil {
-		return fmt.Errorf("ledger: write: %w", err)
-	}
-	if l.sync {
-		if err := l.file.Sync(); err != nil {
-			return fmt.Errorf("ledger: fsync: %w", err)
+	if l.file != nil {
+		enc := wire.NewEncoder(4 + e.encodedSize())
+		at := enc.Skip(4)
+		e.encodeTo(enc)
+		enc.PatchU32(at, uint32(enc.Len()-4))
+		if _, err := l.file.Write(enc.Bytes()); err != nil {
+			return fmt.Errorf("ledger: write: %w", err)
+		}
+		if l.sync {
+			if err := l.file.Sync(); err != nil {
+				return fmt.Errorf("ledger: fsync: %w", err)
+			}
 		}
 	}
+	l.commitMem(e)
 	return nil
 }
 

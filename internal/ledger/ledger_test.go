@@ -215,3 +215,140 @@ func TestEmptyLedger(t *testing.T) {
 		t.Fatal(err) // Close without file is a no-op
 	}
 }
+
+// TestAppendFailedWriteLeavesMemoryUnchanged is the regression test for
+// the commit/persist divergence bug: Append used to mutate the in-memory
+// chain before the file write, so a write error produced a ledger whose
+// Len()/Head() claimed a block the disk never recorded — and a restart
+// silently lost it. With the fix, a failed write must leave memory
+// exactly at the last durable record, and a reopen must agree.
+func TestAppendFailedWriteLeavesMemoryUnchanged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "divergence.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := chainOf(3, 9)
+	for _, e := range chain[:2] {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preHead, _ := l.Head()
+
+	// Inject a write failure: close the backing fd out from under Append.
+	if err := l.file.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(chain[2]); err == nil {
+		t.Fatal("Append must surface the write error")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("failed write advanced memory: Len = %d, want 2", l.Len())
+	}
+	if head, ok := l.Head(); !ok || head.Hash != preHead.Hash {
+		t.Fatalf("failed write changed Head: %+v", head)
+	}
+	if _, err := l.GetByHash(chain[2].Hash); err == nil {
+		t.Fatal("failed write indexed the unwritten block")
+	}
+	l.file = nil // already closed; skip the double close
+
+	// A restart sees exactly the pre-failure state and can resume.
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", re.Len())
+	}
+	if head, ok := re.Head(); !ok || head.Hash != preHead.Hash {
+		t.Fatalf("reopened Head = %+v, want %+v", head, preHead)
+	}
+	if err := re.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Append(chain[2]); err != nil {
+		t.Fatalf("resume after failed write: %v", err)
+	}
+}
+
+// TestReopenAfterTornTailMatchesPreFailureState pairs the torn-write
+// truncation with the divergence fix: after a torn tail the reopened
+// ledger must agree with what Append had durably acknowledged, entry by
+// entry.
+func TestReopenAfterTornTailMatchesPreFailureState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tornstate.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := chainOf(5, 11)
+	for _, e := range chain {
+		if err := l.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-13], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", re.Len())
+	}
+	for i := 0; i < 4; i++ {
+		got, err := re.Get(uint64(i) + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := chain[i]
+		if got.Hash != want.Hash || got.Parent != want.Parent ||
+			got.TxRoot != want.TxRoot || got.StateRoot != want.StateRoot ||
+			got.TxCount != want.TxCount {
+			t.Fatalf("entry %d diverged: %+v vs %+v", i+1, got, want)
+		}
+	}
+	if err := re.VerifyChain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStateRootPersisted checks the execution-plane column survives the
+// disk roundtrip.
+func TestStateRootPersisted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "root.ledger")
+	l, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Entry{
+		Height:    1,
+		Hash:      crypto.HashBytes([]byte("b1")),
+		StateRoot: crypto.HashBytes([]byte("state after b1")),
+		TxCount:   3,
+	}
+	if err := l.Append(e); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	re, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got, err := re.Get(1)
+	if err != nil || got.StateRoot != e.StateRoot {
+		t.Fatalf("StateRoot lost across reload: %+v, %v", got, err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/exec"
 	"predis/internal/ledger"
 	"predis/internal/obs"
 	"predis/internal/wire"
@@ -56,6 +57,15 @@ type FullNodeConfig struct {
 	// Ledger, when non-nil, records every completed block (§II: full
 	// nodes maintain the ledger history).
 	Ledger *ledger.Ledger
+	// Executor, when non-nil, applies each completed block's semantic
+	// operations to this full node's account state machine; the
+	// resulting state root is stamped into the ledger entry so the
+	// persisted chain commits to execution, not just ordering.
+	Executor *exec.Machine
+	// ExecSerial forces the reference serial committer (see node.Config).
+	ExecSerial bool
+	// OnExecute observes each executed block's result.
+	OnExecute func(r exec.Result)
 	// KeepConfirmed bounds retained bundles per chain.
 	KeepConfirmed int
 	// Retry paces bundle-pull retries and restart catch-up rounds. The

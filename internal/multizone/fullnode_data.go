@@ -4,7 +4,10 @@ import (
 	"errors"
 	"sort"
 
+	"predis/internal/compute"
 	"predis/internal/core"
+	"predis/internal/crypto"
+	"predis/internal/exec"
 	"predis/internal/ledger"
 	"predis/internal/obs"
 	"predis/internal/wire"
@@ -215,13 +218,32 @@ func (f *FullNode) tryCompleteBlocksFrom(sender wire.NodeID) {
 				f.pendBlocks[i] = nil
 				f.pushRecentBlock(blk)
 				progress = true
+				// Execute before persisting so the ledger entry commits
+				// to the post-block account state, not just the ordering.
+				var stateRoot crypto.Hash
+				if f.cfg.Executor != nil {
+					var r exec.Result
+					if f.cfg.ExecSerial {
+						r = f.cfg.Executor.ExecuteBlockSerial(blk.Height, txs)
+					} else {
+						r = f.cfg.Executor.ExecuteBlock(compute.PoolOf(f.ctx), blk.Height, txs)
+					}
+					stateRoot = r.StateRoot
+					now := f.ctx.Now()
+					f.cfg.Trace.Span(obs.StageExecuted,
+						obs.BlockKey(blk.Height), f.cfg.Self, now, now)
+					if f.cfg.OnExecute != nil {
+						f.cfg.OnExecute(r)
+					}
+				}
 				if f.cfg.Ledger != nil {
 					if lerr := f.cfg.Ledger.Append(ledger.Entry{
-						Height:  blk.Height,
-						Hash:    blk.Hash(),
-						Parent:  blk.Parent,
-						TxRoot:  blk.TxRoot,
-						TxCount: uint32(len(txs)),
+						Height:    blk.Height,
+						Hash:      blk.Hash(),
+						Parent:    blk.Parent,
+						TxRoot:    blk.TxRoot,
+						StateRoot: stateRoot,
+						TxCount:   uint32(len(txs)),
 					}); lerr != nil {
 						f.ctx.Logf("multizone: ledger append: %v", lerr)
 					}

@@ -6,6 +6,7 @@ import (
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/exec"
 	"predis/internal/node"
 	"predis/internal/obs"
 	"predis/internal/types"
@@ -51,6 +52,11 @@ type HostConfig struct {
 	// Metrics, when non-nil, receives per-node counters from the wrapped
 	// Predis component.
 	Metrics *obs.Registry
+	// Executor / ExecSerial / OnExecute: execution plane, as in
+	// node.Config (each host owns its own exec.Machine).
+	Executor   *exec.Machine
+	ExecSerial bool
+	OnExecute  func(r exec.Result)
 }
 
 // NewConsensusHost builds the host. Multi-Zone always runs Predis (the
@@ -75,6 +81,9 @@ func NewConsensusHost(cfg HostConfig) (*ConsensusHost, error) {
 		OnBlockCommit:  dist.OnBlockCommit,
 		Trace:          cfg.Trace,
 		Metrics:        cfg.Metrics,
+		Executor:       cfg.Executor,
+		ExecSerial:     cfg.ExecSerial,
+		OnExecute:      cfg.OnExecute,
 		OnCommit: func(height uint64, txs []*types.Transaction) {
 			if cfg.OnCommit != nil {
 				cfg.OnCommit(height, len(txs))

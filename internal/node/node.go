@@ -9,10 +9,12 @@ import (
 	"sort"
 	"time"
 
+	"predis/internal/compute"
 	"predis/internal/consensus"
 	"predis/internal/core"
 	"predis/internal/crypto"
 	"predis/internal/env"
+	"predis/internal/exec"
 	"predis/internal/hotstuff"
 	"predis/internal/microblock"
 	"predis/internal/obs"
@@ -112,6 +114,17 @@ type Config struct {
 	// Metrics, when non-nil, receives per-node counters from the wrapped
 	// components (Predis mode).
 	Metrics *obs.Registry
+	// Executor, when non-nil, applies every committed block's semantic
+	// operations to this node's account state machine before client
+	// replies go out. Each node owns its own machine; determinism of the
+	// committed sequence makes the resulting state roots agree.
+	Executor *exec.Machine
+	// ExecSerial forces the reference serial committer instead of the
+	// two-phase parallel one (baseline for the contention experiment).
+	ExecSerial bool
+	// OnExecute observes each executed block's result (state root,
+	// apply/abort counts, dependency-level shape).
+	OnExecute func(r exec.Result)
 }
 
 // Node is a consensus node handler.
@@ -317,9 +330,24 @@ func (n *Node) Submit(tx *types.Transaction) {
 	}
 }
 
-// handleCommit fans a committed block out to measurement hooks and client
-// replies.
+// handleCommit executes a committed block on the node's state machine
+// and fans it out to measurement hooks and client replies.
 func (n *Node) handleCommit(height uint64, txs []*types.Transaction) {
+	if n.cfg.Executor != nil {
+		var r exec.Result
+		if n.cfg.ExecSerial {
+			r = n.cfg.Executor.ExecuteBlockSerial(height, txs)
+		} else {
+			r = n.cfg.Executor.ExecuteBlock(compute.PoolOf(n.ctx), height, txs)
+		}
+		if n.cfg.Trace != nil && n.ctx != nil {
+			now := n.ctx.Now()
+			n.cfg.Trace.Span(obs.StageExecuted, obs.BlockKey(height), n.cfg.Self, now, now)
+		}
+		if n.cfg.OnExecute != nil {
+			n.cfg.OnExecute(r)
+		}
+	}
 	if n.cfg.OnCommit != nil {
 		n.cfg.OnCommit(height, txs)
 	}

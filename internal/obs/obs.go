@@ -19,19 +19,23 @@
 //
 // # Pipeline stages
 //
-// The tracer models the Predis data path as six stages, each recorded as
-// a span on the observing node's timeline:
+// The tracer models the Predis data path as seven stages, each recorded
+// as a span on the observing node's timeline:
 //
 //	submit             client submit → transaction arrives at a consensus node
 //	bundle_sealed      first queued tx → bundle packed and signed (producer)
 //	block_proposed     proposal learned → prepare quorum / QC (per replica)
 //	prepare_commit     prepare quorum / QC → block executed (per replica)
+//	executed           committed block applied by the execution plane (per node)
 //	stripe_distributed first stripe sent → bundle reassembled (per full node)
 //	fullnode_delivered block committed → block completed (per full node)
 //
-// Stages 5 and 6 are cross-node: the start anchor is recorded by the
-// distributor (Tracer.Mark) and each full node closes its own span
-// against that anchor (Tracer.SpanSinceMark).
+// The executed stage is a zero-width marker: execution happens inside
+// the commit handler at a single virtual instant, so the span records
+// when the state machine advanced, not a duration. The last two stages
+// are cross-node: the start anchor is recorded by the distributor
+// (Tracer.Mark) and each full node closes its own span against that
+// anchor (Tracer.SpanSinceMark).
 package obs
 
 import (
@@ -43,12 +47,13 @@ import (
 // Stage identifies one pipeline stage.
 type Stage uint8
 
-// The six pipeline stages, in data-flow order.
+// The seven pipeline stages, in data-flow order.
 const (
 	StageSubmit Stage = iota
 	StageBundleSealed
 	StageBlockProposed
 	StagePrepareCommit
+	StageExecuted
 	StageStripeDistributed
 	StageFullNodeDelivered
 	numStages
@@ -61,6 +66,7 @@ var StageNames = [...]string{
 	"bundle_sealed",
 	"block_proposed",
 	"prepare_commit",
+	"executed",
 	"stripe_distributed",
 	"fullnode_delivered",
 }

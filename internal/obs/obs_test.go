@@ -229,8 +229,8 @@ func TestStageCSV(t *testing.T) {
 	if !strings.HasPrefix(lines[1], "submit,1,1,") {
 		t.Fatalf("first stage row: %q", lines[1])
 	}
-	if !strings.HasPrefix(lines[6], "fullnode_delivered,1,6,") {
-		t.Fatalf("last stage row: %q", lines[6])
+	if !strings.HasPrefix(lines[numStages], "fullnode_delivered,1,7,") {
+		t.Fatalf("last stage row: %q", lines[numStages])
 	}
 	tbl := tr.StageTable()
 	out := tbl.Render()

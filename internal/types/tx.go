@@ -18,17 +18,19 @@ import (
 const DefaultTxSize = 512
 
 // txFixedLen is the number of bytes of real fields in an encoded
-// transaction; the remainder up to Size is deterministic padding standing in
-// for the client's payload and signature.
-const txFixedLen = 4 + 8 + 4 + 8
+// transaction (header plus the op kind byte); the remainder up to Size —
+// after the op payload — is deterministic zero padding standing in for
+// the client's payload and signature.
+const txFixedLen = 4 + 8 + 4 + 8 + 1
 
 // MinTxSize is the smallest representable transaction.
 const MinTxSize = txFixedLen
 
 // Transaction is a client request. The payload is synthetic: benchmarks
 // need transactions of a given wire size, not meaningful bodies, so the
-// encoded form carries (Client, Seq, Size, Submitted) and deterministic
-// padding. Its identity is the hash of the real fields.
+// encoded form carries (Client, Seq, Size, Submitted), an optional
+// semantic operation, and deterministic padding up to Size. Its identity
+// is the hash of the real fields, op included.
 type Transaction struct {
 	// Client identifies the submitting client (a node ID in the runtime).
 	Client wire.NodeID
@@ -40,6 +42,9 @@ type Transaction struct {
 	// epoch; carried on the wire so any replica can compute end-to-end
 	// latency for measurement.
 	Submitted int64
+	// Op is the semantic operation the execution plane applies at commit;
+	// the zero value (OpOpaque) keeps the transaction a pure payload.
+	Op Op
 
 	hash    crypto.Hash
 	hashSet bool
@@ -68,13 +73,29 @@ func (t *Transaction) Hash() crypto.Hash {
 // writing the memo, so it is safe to call from compute-pool workers
 // while the event loop concurrently memoizes Hash() on the same
 // transaction (the memo fields are disjoint from the identity fields).
+// The identity covers the op: two transactions differing only in their
+// semantic effect must not collide.
 func (t *Transaction) HashStateless() crypto.Hash {
-	var buf [txFixedLen]byte
-	binary.BigEndian.PutUint32(buf[0:], uint32(t.Client))
-	binary.BigEndian.PutUint64(buf[4:], t.Seq)
-	binary.BigEndian.PutUint32(buf[12:], t.Size)
-	binary.BigEndian.PutUint64(buf[16:], uint64(t.Submitted))
-	return crypto.HashBytes(buf[:])
+	var arr [txFixedLen + maxOpPayload]byte
+	b := arr[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(t.Client))
+	b = binary.BigEndian.AppendUint64(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Size)
+	b = binary.BigEndian.AppendUint64(b, uint64(t.Submitted))
+	b = append(b, byte(t.Op.Kind))
+	b = t.Op.appendPayload(b)
+	return crypto.HashBytes(b)
+}
+
+// WithOp attaches a semantic operation, growing Size when the op payload
+// does not fit the declared wire size. Call it before the first Hash():
+// the op is part of the transaction's identity.
+func (t *Transaction) WithOp(op Op) *Transaction {
+	t.Op = op
+	if min := txFixedLen + op.payloadLen(); int(t.Size) < min {
+		t.Size = uint32(min)
+	}
+	return t
 }
 
 // PrimeHash installs a hash computed elsewhere (a compute-pool worker
@@ -92,14 +113,31 @@ func (t *Transaction) PrimeHash(h crypto.Hash) {
 // EncodedSize returns the wire size of the transaction body (no frame).
 func (t *Transaction) EncodedSize() int { return int(t.Size) }
 
+// zeroPad is a shared read-only buffer for transaction padding, so
+// EncodeTo never allocates a throwaway zero slice per transaction (the
+// encode path runs once per tx per hop — it is the hottest serializer
+// in the system).
+var zeroPad = make([]byte, 4096)
+
 // EncodeTo appends the transaction to an encoder.
+//
+//predis:hotpath
 func (t *Transaction) EncodeTo(e *wire.Encoder) {
 	e.Node(t.Client)
 	e.U64(t.Seq)
 	e.U32(t.Size)
 	e.U64(uint64(t.Submitted))
-	if pad := int(t.Size) - txFixedLen; pad > 0 {
-		e.Raw(make([]byte, pad))
+	e.U8(uint8(t.Op.Kind))
+	var arr [maxOpPayload]byte
+	e.Raw(t.Op.appendPayload(arr[:0]))
+	pad := int(t.Size) - txFixedLen - t.Op.payloadLen()
+	for pad > 0 {
+		n := pad
+		if n > len(zeroPad) {
+			n = len(zeroPad)
+		}
+		e.Raw(zeroPad[:n])
+		pad -= n
 	}
 }
 
@@ -111,15 +149,26 @@ func DecodeTx(d *wire.Decoder) (*Transaction, error) {
 		Size:      d.U32(),
 		Submitted: int64(d.U64()),
 	}
+	kind := OpKind(d.U8())
 	if err := d.Err(); err != nil {
 		return nil, err
 	}
+	if kind >= opKindEnd {
+		return nil, fmt.Errorf("types: unknown op kind %d", kind)
+	}
+	op, err := decodeOpPayload(kind, d)
+	if err != nil {
+		return nil, err
+	}
+	t.Op = op
 	if t.Size < MinTxSize {
 		return nil, fmt.Errorf("types: transaction size %d below minimum %d", t.Size, MinTxSize)
 	}
-	if pad := int(t.Size) - txFixedLen; pad > 0 {
-		d.Raw(pad)
+	pad := int(t.Size) - txFixedLen - op.payloadLen()
+	if pad < 0 {
+		return nil, fmt.Errorf("types: op payload overflows declared size %d", t.Size)
 	}
+	d.Pad(pad)
 	return t, d.Err()
 }
 

@@ -24,6 +24,9 @@ func NewEncoder(capacity int) *Encoder {
 // Bytes returns the encoded buffer.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset truncates the buffer for reuse, keeping its capacity.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Len returns the number of bytes encoded so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
@@ -218,6 +221,26 @@ func (d *Decoder) Raw(n int) []byte {
 	out := make([]byte, n)
 	copy(out, b)
 	return out
+}
+
+// Pad consumes n bytes of zero padding without copying. A nonzero byte
+// marks a non-canonical frame and fails the decode: padding carries no
+// information, so accepting arbitrary bytes there would let two
+// byte-different frames decode to the same message.
+func (d *Decoder) Pad(n int) {
+	if n <= 0 {
+		return
+	}
+	b := d.take(n)
+	for i, c := range b {
+		if c != 0 {
+			if d.err == nil {
+				d.err = fmt.Errorf("wire: nonzero padding byte %#02x at offset %d",
+					c, d.off-n+i)
+			}
+			return
+		}
+	}
 }
 
 // VarBytes reads a uint32 length prefix followed by that many bytes.

@@ -141,6 +141,11 @@ type ClientConfig struct {
 	// transaction (closed by the receiving consensus node). Nil disables
 	// tracing at zero cost.
 	Trace *obs.Tracer
+	// Ops, when non-nil, attaches a semantic operation to every generated
+	// transaction (see types.Op and internal/exec); it must be a pure
+	// function of its arguments so generation stays deterministic. Nil
+	// keeps transactions opaque payloads.
+	Ops func(client wire.NodeID, seq uint64) types.Op
 }
 
 // Client is an open-loop transaction generator.
@@ -266,6 +271,9 @@ func (c *Client) resubmitOverdue(now time.Time) {
 func (c *Client) submitOne(now time.Time) {
 	c.seq++
 	tx := types.NewTransaction(c.cfg.Self, c.seq, c.cfg.TxSize, now.Sub(c.cfg.Epoch))
+	if c.cfg.Ops != nil {
+		tx.WithOp(c.cfg.Ops(c.cfg.Self, c.seq))
+	}
 	p := &pendingTx{
 		tx:        tx,
 		submitted: now,

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"testing"
+
+	"predis/internal/types"
+	"predis/internal/wire"
+)
+
+func TestZipfOpsDeterministic(t *testing.T) {
+	cfg := ZipfConfig{Accounts: 256, Theta: 0.9, RMWFrac: 0.2, Amount: 50, Seed: 7}
+	a, b := NewZipfOps(cfg), NewZipfOps(cfg)
+	for seq := uint64(0); seq < 500; seq++ {
+		oa, ob := a.Op(3, seq), b.Op(3, seq)
+		if oa.Kind != ob.Kind || oa.From != ob.From || oa.To != ob.To {
+			t.Fatalf("seq %d: %+v != %+v", seq, oa, ob)
+		}
+	}
+	other := NewZipfOps(ZipfConfig{Accounts: 256, Theta: 0.9, RMWFrac: 0.2, Amount: 50, Seed: 8})
+	diff := 0
+	for seq := uint64(0); seq < 500; seq++ {
+		if a.Op(3, seq).From != other.Op(3, seq).From {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seed must perturb the stream")
+	}
+}
+
+func TestZipfOpsValidity(t *testing.T) {
+	z := NewZipfOps(ZipfConfig{Accounts: 64, Theta: 1.2, HotFrac: 0.3, RMWFrac: 0.25, Amount: 10, Seed: 1})
+	rmws := 0
+	for client := 1; client <= 4; client++ {
+		for seq := uint64(0); seq < 250; seq++ {
+			op := z.Op(wire.NodeID(client), seq)
+			switch op.Kind {
+			case types.OpTransfer:
+				if op.From == op.To {
+					t.Fatalf("self-transfer generated: %+v", op)
+				}
+				if op.From >= 64 || op.To >= 64 {
+					t.Fatalf("account out of range: %+v", op)
+				}
+			case types.OpRMW:
+				rmws++
+				if len(op.Reads) != 1 || len(op.Writes) != 1 {
+					t.Fatalf("rmw shape: %+v", op)
+				}
+			default:
+				t.Fatalf("unexpected kind %d", op.Kind)
+			}
+		}
+	}
+	if rmws == 0 {
+		t.Fatal("RMWFrac 0.25 produced no RMW ops in 1000 draws")
+	}
+}
+
+func TestZipfSkewConcentrates(t *testing.T) {
+	count := func(theta float64) int {
+		z := NewZipfOps(ZipfConfig{Accounts: 128, Theta: theta, Amount: 1, Seed: 42})
+		hot := 0
+		for seq := uint64(0); seq < 2000; seq++ {
+			op := z.Op(9, seq)
+			if op.From < 4 || op.To < 4 {
+				hot++
+			}
+		}
+		return hot
+	}
+	uniform, skewed := count(0), count(1.2)
+	if skewed <= uniform*2 {
+		t.Fatalf("theta 1.2 must concentrate on hot keys: uniform %d, skewed %d", uniform, skewed)
+	}
+}

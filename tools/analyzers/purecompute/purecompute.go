@@ -21,7 +21,10 @@
 //   - nested Pool.Map or compute.Go calls — a worker blocking in a join
 //     while its helpers sit behind other blocked workers deadlocks the
 //     pool;
-//   - raw go statements (workers must not spawn goroutines).
+//   - raw go statements (workers must not spawn goroutines);
+//   - any method call on the execution plane's multi-version cache
+//     (exec.MVCache) — levels merge only at event-loop join points;
+//     kernels read state through the immutable exec.Snapshot.
 package purecompute
 
 import (
@@ -137,6 +140,26 @@ func pathHasComputeSegment(path string) bool {
 	return analysis.PathHasSegment(path, "compute")
 }
 
+// isMVCacheType reports whether t is (a pointer to) exec.MVCache, the
+// execution plane's multi-version state cache. Its methods mutate
+// event-loop-owned state, so offloaded kernels may never call them
+// (they read through the immutable exec.Snapshot instead).
+func isMVCacheType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "MVCache" && obj.Pkg() != nil &&
+		analysis.PathHasSegment(obj.Pkg().Path(), "exec")
+}
+
 // forbiddenStatePkg reports whether a type is declared in internal/env or
 // internal/simnet (fixture equivalents: any path segment env/simnet).
 func forbiddenStatePkg(t types.Type) string {
@@ -234,6 +257,15 @@ func checkClosureCall(pass *analysis.Pass, call *ast.CallExpr) {
 			}
 			return
 		}
+	}
+	// Method calls on the multi-version cache mutate event-loop-owned
+	// execution state; kernels read through the immutable Snapshot and
+	// merge only at event-loop join points.
+	if tv, okType := pass.Info.Types[sel.X]; okType && isMVCacheType(tv.Type) {
+		pass.Reportf(call.Pos(),
+			"MVCache.%s inside an offloaded closure; merge only at event-loop join points (use the read-only Snapshot)",
+			sel.Sel.Name)
+		return
 	}
 	// Method calls: lazily-memoizing accessors race with the event loop.
 	if tv, okType := pass.Info.Types[sel.X]; okType && tv.Type != nil {

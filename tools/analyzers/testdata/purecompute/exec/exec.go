@@ -1,0 +1,26 @@
+// Package exec is a fixture stand-in for the execution plane's state
+// types: the event-loop-only multi-version cache and the worker-readable
+// snapshot. The analyzer matches the MVCache type by name plus the
+// "exec" path segment, exactly as it matches the real
+// predis/internal/exec package.
+package exec
+
+// MVCache stands in for the multi-version state cache; its methods may
+// only run on the event loop.
+type MVCache struct{ vals map[uint64]uint64 }
+
+// Merge applies one level's writes.
+func (c *MVCache) Merge(level int, keys []uint64) {
+	for _, k := range keys {
+		c.vals[k] = uint64(level)
+	}
+}
+
+// Version returns a key's writer level.
+func (c *MVCache) Version(key uint64) int { return int(c.vals[key]) }
+
+// Snapshot stands in for the immutable worker-readable state view.
+type Snapshot struct{ base map[uint64]uint64 }
+
+// Get reads a key; safe from offloaded kernels.
+func (s Snapshot) Get(key uint64) uint64 { return s.base[key] }

@@ -9,6 +9,7 @@ import (
 
 	"predis/internal/compute"
 	fixenv "predis/tools/analyzers/testdata/purecompute/env"
+	fixexec "predis/tools/analyzers/testdata/purecompute/exec"
 )
 
 // header stands in for a message header with a lazily-memoized Hash and
@@ -63,4 +64,20 @@ func badNesting(p *compute.Pool, hdr header) {
 		compute.Go(p, func() int { return 0 }) // want "offload only from the event loop"
 		return 0
 	})
+}
+
+func badMVCache(p *compute.Pool, cache *fixexec.MVCache, snap fixexec.Snapshot) {
+	out := make([]uint64, 4)
+	p.Map(4, func(i int) {
+		out[i] = snap.Get(uint64(i))        // allowed: Snapshot is the worker-safe read path
+		cache.Merge(i, []uint64{uint64(i)}) // want "merge only at event-loop join points"
+		_ = cache.Version(uint64(i))        // want "merge only at event-loop join points"
+	})
+	compute.Go(p, func() int {
+		cache.Merge(0, nil) // want "merge only at event-loop join points"
+		return 0
+	})
+	// Allowed on the event loop: merges happen at join points.
+	cache.Merge(0, out)
+	_ = cache.Version(0)
 }
