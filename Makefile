@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke exec-smoke ci
+.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-scale bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke exec-smoke scale-smoke ci
 
 # The kernel micro-benchmark set (bench_kernels_test.go at the repo
 # root): simnet scheduling, wire framing, erasure coding, merkle, and
@@ -78,6 +78,26 @@ bench-e2e:
 		| go run ./tools/benchjson -o BENCH_e2e.json
 	@echo wrote BENCH_e2e.json
 
+# bench-scale: the population-scale benchmark pair (bench_scale_test.go)
+# — the naive shape (one workload.Client and star-copy fan-out per
+# logical client) against the aggregated-flow + shared-tree shape at 1k
+# and 10k nodes — converted to BENCH_scale.json so the allocs/op ratio
+# between ScaleNaive1k and ScaleFlow1k stays committed and diffable.
+bench-scale:
+	go test -run '^$$' -bench 'BenchmarkScale' -benchmem . \
+		| go run ./tools/benchjson -o BENCH_scale.json
+	@echo wrote BENCH_scale.json
+
+# scale-smoke: the population-scale CI gate — the quick scale sweep
+# (N ∈ {100, 1k, 10k}, four tree shapes each, aggregated client flows)
+# must finish inside a 60 s budget. Before flow aggregation and the
+# dense-index simnet paths, the 10k points alone blew through this.
+scale-smoke:
+	@mkdir -p bin
+	go build -o bin/predis-bench ./cmd/predis-bench
+	timeout 60 ./bin/predis-bench -quick -parallel 4 scale >/dev/null
+	@echo scale-smoke: quick sweep finished inside the 60s budget
+
 # bench-smoke: the CI gate — every kernel benchmark must run (once) and
 # the benchjson converter must accept the output. The E2E set rides
 # along at one iteration so regressions in experiment wiring surface
@@ -140,4 +160,4 @@ trace-smoke:
 	go run ./tools/tracecheck bin/trace-smoke.json
 	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
 
-ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke exec-smoke
+ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke exec-smoke scale-smoke

@@ -11,7 +11,11 @@
 //	predis-bench [-quick] [-seed N] <experiment-id>... [-trace] [-metrics]
 //
 // Experiment ids: quickstart fig4a fig4b fig4c fig4d fig5wan fig5lan fig6
-// fig7 fig8 recovery byzantine.
+// fig7 fig8 recovery byzantine contention scale. The scale experiment
+// sweeps 10²..5·10⁴-node populations (aggregated client flows, k-ary
+// multicast trees); its latency/depth/throughput tables are
+// deterministic while its machine-cost table (wall-clock, peak RSS) is
+// inherently host-dependent, so scale does not participate in -replay.
 //
 // Observability (experiments that support it: quickstart, recovery):
 //

@@ -1,0 +1,65 @@
+package env
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HostMeter probes host machine cost — real wall-clock time and process
+// peak RSS — for experiments that report how much hardware a simulation
+// consumed (the harness scale experiment's machine-cost table). These
+// readings are nondeterministic by nature and must never influence
+// simulation behavior, only ride alongside the deterministic results.
+//
+// The interface shape is deliberate: the determinism analyzers refuse
+// to follow taint across interfaces declared in trusted runtime
+// packages, which makes HostMeter the one sanctioned channel through
+// which sim-visible code may read the host clock. Concrete values come
+// only from NewHostMeter.
+type HostMeter interface {
+	// WallStart records the current host time as the stopwatch origin.
+	WallStart()
+	// WallElapsed returns host time elapsed since WallStart.
+	WallElapsed() time.Duration
+	// PeakRSSMB returns the process peak resident set (VmHWM) in MB,
+	// or 0 when unavailable (non-Linux). The high-water mark is
+	// process-global and monotone, so concurrent measurements report
+	// at least their own peak.
+	PeakRSSMB() int
+}
+
+// NewHostMeter returns a host-cost probe. The constructor itself reads
+// no clocks; callers start the stopwatch explicitly.
+func NewHostMeter() HostMeter { return &hostMeter{} }
+
+type hostMeter struct {
+	start time.Time
+}
+
+func (m *hostMeter) WallStart() { m.start = time.Now() }
+
+func (m *hostMeter) WallElapsed() time.Duration { return time.Since(m.start) }
+
+func (m *hostMeter) PeakRSSMB() int {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return 0
+		}
+		return kb >> 10
+	}
+	return 0
+}

@@ -66,7 +66,12 @@ type withholdWindow struct {
 // mutate composes all active mutator windows in schedule order. It is
 // installed as the network's mutator only when the schedule contains at
 // least one Byzantine action.
+//
+//predis:hotpath
 func (inj *Injector) mutate(from, to wire.NodeID, m wire.Message) wire.Message {
+	if inj.activeMutants == 0 {
+		return m
+	}
 	for _, w := range inj.mutants {
 		if !w.active {
 			continue
@@ -79,14 +84,18 @@ func (inj *Injector) mutate(from, to wire.NodeID, m wire.Message) wire.Message {
 }
 
 // window schedules the activation edges of a Byzantine window and records
-// them in the trace.
-func (inj *Injector) window(from, to time.Duration, on, off string, flag *bool) {
+// them in the trace. counter is the injector's active-window tally for the
+// window's class (mutants or withholds), kept so the per-Send filters can
+// skip scanning when nothing is open.
+func (inj *Injector) window(from, to time.Duration, on, off string, flag *bool, counter *int) {
 	inj.net.At(from, func() {
 		*flag = true
+		*counter++
 		inj.record(from, on)
 	})
 	inj.net.At(to, func() {
 		*flag = false
+		*counter--
 		inj.record(to, off)
 	})
 }
@@ -116,7 +125,7 @@ func (c CorruptStripe) compile(inj *Injector) {
 	inj.window(c.From, c.To,
 		fmt.Sprintf("node %d corrupts stripe payloads", c.Node),
 		fmt.Sprintf("node %d stops corrupting stripes", c.Node),
-		&w.active)
+		&w.active, &inj.activeMutants)
 }
 
 func (c CorruptStripe) describe() string {
@@ -147,7 +156,7 @@ func (b BogusProof) compile(inj *Injector) {
 	inj.window(b.From, b.To,
 		fmt.Sprintf("node %d serves bogus proofs", b.Node),
 		fmt.Sprintf("node %d stops serving bogus proofs", b.Node),
-		&w.active)
+		&w.active, &inj.activeMutants)
 }
 
 func (b BogusProof) describe() string {
@@ -175,7 +184,7 @@ func (s WithholdStripes) compile(inj *Injector) {
 	inj.window(s.From, s.To,
 		fmt.Sprintf("node %d withholds stripes from %s", s.Node, victimLabel(s.Victims)),
 		fmt.Sprintf("node %d resumes stripe fan-out", s.Node),
-		&w.active)
+		&w.active, &inj.activeWithholds)
 }
 
 func (s WithholdStripes) describe() string {
@@ -219,7 +228,7 @@ func (e EquivocateLeader) compile(inj *Injector) {
 	inj.window(e.From, e.To,
 		fmt.Sprintf("node %d equivocates to %v", e.Node, fmtIDs(e.Victims)),
 		fmt.Sprintf("node %d stops equivocating", e.Node),
-		&w.active)
+		&w.active, &inj.activeMutants)
 }
 
 func (e EquivocateLeader) describe() string {
@@ -252,7 +261,7 @@ func (g GarbageWire) compile(inj *Injector) {
 	inj.window(g.From, g.To,
 		fmt.Sprintf("node %d emits garbage frames", g.Node),
 		fmt.Sprintf("node %d emits valid frames again", g.Node),
-		&w.active)
+		&w.active, &inj.activeMutants)
 }
 
 func (g GarbageWire) describe() string {

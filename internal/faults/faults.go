@@ -124,6 +124,16 @@ type Injector struct {
 	mutants   []*mutWindow
 	withholds []*withholdWindow
 	trace     []TraceEvent
+
+	// Active-window counters let the per-Send filters return immediately
+	// when no window of that class is open — the overwhelmingly common
+	// case at 10⁴⁺-node scale, where the filters run once per Send. The
+	// early exits are draw-identical to scanning: inactive windows never
+	// consult the rng.
+	activeParts     int
+	activeLosses    int
+	activeMutants   int
+	activeWithholds int
 }
 
 type partWindow struct {
@@ -177,7 +187,12 @@ func (inj *Injector) record(at time.Duration, desc string) {
 }
 
 // partitioned implements the composite partition filter.
+//
+//predis:hotpath
 func (inj *Injector) partitioned(from, to wire.NodeID) bool {
+	if inj.activeParts == 0 {
+		return false
+	}
 	for _, w := range inj.parts {
 		if !w.active {
 			continue
@@ -190,30 +205,36 @@ func (inj *Injector) partitioned(from, to wire.NodeID) bool {
 }
 
 // drop implements the composite message-level drop filter.
+//
+//predis:hotpath
 func (inj *Injector) drop(from, to wire.NodeID, m wire.Message) bool {
-	for _, w := range inj.losses {
-		if !w.active {
-			continue
-		}
-		if w.from != wire.NoNode && w.from != from {
-			continue
-		}
-		if w.to != wire.NoNode && w.to != to {
-			continue
-		}
-		if w.prob >= 1 || inj.rng.Float64() < w.prob {
-			return true
+	if inj.activeLosses > 0 {
+		for _, w := range inj.losses {
+			if !w.active {
+				continue
+			}
+			if w.from != wire.NoNode && w.from != from {
+				continue
+			}
+			if w.to != wire.NoNode && w.to != to {
+				continue
+			}
+			if w.prob >= 1 || inj.rng.Float64() < w.prob {
+				return true
+			}
 		}
 	}
-	for _, w := range inj.withholds {
-		if !w.active || w.from != from {
-			continue
-		}
-		if w.victims != nil && !w.victims[to] {
-			continue
-		}
-		if _, ok := m.(StripeTamperer); ok {
-			return true
+	if inj.activeWithholds > 0 {
+		for _, w := range inj.withholds {
+			if !w.active || w.from != from {
+				continue
+			}
+			if w.victims != nil && !w.victims[to] {
+				continue
+			}
+			if _, ok := m.(StripeTamperer); ok {
+				return true
+			}
 		}
 	}
 	return false
@@ -253,10 +274,12 @@ func (w PartitionWindow) compile(inj *Injector) {
 	inj.parts = append(inj.parts, pw)
 	inj.net.At(w.From, func() {
 		pw.active = true
+		inj.activeParts++
 		inj.record(w.From, fmt.Sprintf("partition %v | %v", fmtIDs(w.A), fmtIDs(w.B)))
 	})
 	inj.net.At(w.To, func() {
 		pw.active = false
+		inj.activeParts--
 		inj.record(w.To, fmt.Sprintf("heal partition %v | %v", fmtIDs(w.A), fmtIDs(w.B)))
 	})
 }
@@ -270,10 +293,12 @@ func (w LossWindow) compile(inj *Injector) {
 	inj.losses = append(inj.losses, lw)
 	inj.net.At(w.Start, func() {
 		lw.active = true
+		inj.activeLosses++
 		inj.record(w.Start, fmt.Sprintf("loss %.0f%% on %s", w.Prob*100, fmtLink(w.From, w.To)))
 	})
 	inj.net.At(w.End, func() {
 		lw.active = false
+		inj.activeLosses--
 		inj.record(w.End, fmt.Sprintf("loss cleared on %s", fmtLink(w.From, w.To)))
 	})
 }
@@ -287,10 +312,12 @@ func (s Silent) compile(inj *Injector) {
 	inj.losses = append(inj.losses, lw)
 	inj.net.At(s.From, func() {
 		lw.active = true
+		inj.activeLosses++
 		inj.record(s.From, fmt.Sprintf("node %d goes silent", s.Node))
 	})
 	inj.net.At(s.To, func() {
 		lw.active = false
+		inj.activeLosses--
 		inj.record(s.To, fmt.Sprintf("node %d speaks again", s.Node))
 	})
 }
@@ -304,10 +331,12 @@ func (s Slow) compile(inj *Injector) {
 	inj.losses = append(inj.losses, lw)
 	inj.net.At(s.From, func() {
 		lw.active = true
+		inj.activeLosses++
 		inj.record(s.From, fmt.Sprintf("node %d slow (drops %.0f%%)", s.Node, s.DropProb*100))
 	})
 	inj.net.At(s.To, func() {
 		lw.active = false
+		inj.activeLosses--
 		inj.record(s.To, fmt.Sprintf("node %d back to full speed", s.Node))
 	})
 }

@@ -78,6 +78,9 @@ func Registry() []Experiment {
 		{"recovery", "Recovery: relayer & leader crash/restart — dip depth and time-to-recover", Recovery},
 		{"byzantine", "Byzantine: data-plane adversaries — Eq. 4 delivery sweep, attack windows, self-healing", Byzantine},
 		{"contention", "Contention: deterministic parallel execution vs serial under workload skew", Contention},
+		// scale stays last: quick_results.txt refreshes append its section
+		// without perturbing the existing ones.
+		{"scale", "Scale: 10⁴–10⁵-node population — delivery latency and flow throughput, deep vs shallow trees", Scale},
 	}
 }
 

@@ -75,8 +75,8 @@ func TestLoadSweepShape(t *testing.T) {
 
 func TestRegistryAndLookup(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 13 {
-		t.Fatalf("registry has %d experiments, want 13", len(reg))
+	if len(reg) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(reg))
 	}
 	seen := make(map[string]bool)
 	for _, e := range reg {

@@ -51,11 +51,15 @@ type Sampler struct {
 	interval time.Duration
 	reg      *Registry
 
-	samples  []Sample
-	lastUp   map[wire.NodeID]time.Duration
-	lastDown map[wire.NodeID]time.Duration
-	lastSent map[wire.NodeID]uint64
-	lastRecv map[wire.NodeID]uint64
+	samples []Sample
+	// Per-node previous readings, indexed by the network's dense node
+	// index (simnet interns IDs at registration), so the per-tick sweep is
+	// a flat-array walk instead of four map lookups per node. Grown lazily
+	// on each tick since nodes may register after the sampler is built.
+	lastUp   []time.Duration
+	lastDown []time.Duration
+	lastSent []uint64
+	lastRecv []uint64
 
 	lastDelivered uint64
 	lastBytes     uint64
@@ -72,10 +76,6 @@ func NewSampler(net *simnet.Network, interval time.Duration, reg *Registry) *Sam
 		net:      net,
 		interval: interval,
 		reg:      reg,
-		lastUp:   make(map[wire.NodeID]time.Duration),
-		lastDown: make(map[wire.NodeID]time.Duration),
-		lastSent: make(map[wire.NodeID]uint64),
-		lastRecv: make(map[wire.NodeID]uint64),
 	}
 }
 
@@ -91,34 +91,41 @@ func (s *Sampler) Start(horizon time.Duration) {
 	}
 }
 
-// tick records one sample.
+// tick records one sample. The sweep walks the network's dense node
+// table in ascending-ID order via the memoized index permutation, so a
+// 10⁴-node population costs one flat-slice pass, not 4n map lookups.
 func (s *Sampler) tick() {
 	now := s.net.Now()
-	ids := s.net.NodeIDs()
+	order := s.net.SortedIndexes()
+	if n := s.net.NodeCount(); len(s.lastUp) < n {
+		s.lastUp = append(s.lastUp, make([]time.Duration, n-len(s.lastUp))...)
+		s.lastDown = append(s.lastDown, make([]time.Duration, n-len(s.lastDown))...)
+		s.lastSent = append(s.lastSent, make([]uint64, n-len(s.lastSent))...)
+		s.lastRecv = append(s.lastRecv, make([]uint64, n-len(s.lastRecv))...)
+	}
 	sm := Sample{
 		At:        now,
 		QueueLen:  s.net.QueueLen(),
 		Delivered: s.net.Delivered() - s.lastDelivered,
 		SentBytes: s.net.BytesSent() - s.lastBytes,
-		Nodes:     make([]NodeSample, 0, len(ids)),
+		Nodes:     make([]NodeSample, 0, len(order)),
 	}
 	s.lastDelivered = s.net.Delivered()
 	s.lastBytes = s.net.BytesSent()
 	iv := float64(s.interval)
-	for _, id := range ids {
-		up, down := s.net.NICBusy(id)
-		sent, recv := s.net.NodeBytes(id)
+	for _, idx := range order {
+		id, up, down, sent, recv := s.net.NodeStatsAt(idx)
 		ns := NodeSample{
 			Node:      id,
-			UpUtil:    float64(up-s.lastUp[id]) / iv,
-			DownUtil:  float64(down-s.lastDown[id]) / iv,
-			SentBytes: sent - s.lastSent[id],
-			RecvBytes: recv - s.lastRecv[id],
+			UpUtil:    float64(up-s.lastUp[idx]) / iv,
+			DownUtil:  float64(down-s.lastDown[idx]) / iv,
+			SentBytes: sent - s.lastSent[idx],
+			RecvBytes: recv - s.lastRecv[idx],
 		}
-		s.lastUp[id] = up
-		s.lastDown[id] = down
-		s.lastSent[id] = sent
-		s.lastRecv[id] = recv
+		s.lastUp[idx] = up
+		s.lastDown[idx] = down
+		s.lastSent[idx] = sent
+		s.lastRecv[idx] = recv
 		sm.Nodes = append(sm.Nodes, ns)
 		s.reg.Gauge("nic_up_util", id).Set(ns.UpUtil)
 		s.reg.Gauge("nic_down_util", id).Set(ns.DownUtil)

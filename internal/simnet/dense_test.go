@@ -1,0 +1,272 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"predis/internal/wire"
+)
+
+// TestDenseIndexStableUnderChurn pins the interning contract: a node's
+// dense index is assigned once at registration and survives any amount
+// of crash/restart churn — obs samplers and link accounting key on it
+// across the whole run.
+func TestDenseIndexStableUnderChurn(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{
+		Uplink: Mbps100, Downlink: Mbps100,
+		Latency: UniformLatency(time.Millisecond),
+	})
+	const nodes = 50
+	// Register out of ID order so index order ≠ ID order.
+	for i := nodes - 1; i >= 0; i-- {
+		n.AddNode(wire.NodeID(i), &recorder{})
+	}
+	n.Start()
+
+	before := make(map[wire.NodeID]int32)
+	for i := 0; i < nodes; i++ {
+		idx, ok := n.Index(wire.NodeID(i))
+		if !ok {
+			t.Fatalf("node %d has no index", i)
+		}
+		before[wire.NodeID(i)] = idx
+	}
+
+	// Churn: crash and restart every other node, twice.
+	for round := 0; round < 2; round++ {
+		for i := 0; i < nodes; i += 2 {
+			n.Crash(wire.NodeID(i))
+		}
+		n.RunUntilIdle(0)
+		for i := 0; i < nodes; i += 2 {
+			n.Restart(wire.NodeID(i))
+		}
+		n.RunUntilIdle(0)
+	}
+
+	for id, want := range before {
+		got, ok := n.Index(id)
+		if !ok || got != want {
+			t.Fatalf("node %d index changed across churn: %d -> %d (ok=%v)", id, want, got, ok)
+		}
+		if back, _, _, _, _ := n.NodeStatsAt(got); back != id {
+			t.Fatalf("NodeStatsAt(%d) resolves to node %d, want %d", got, back, id)
+		}
+		if n.Crashed(id) {
+			t.Fatalf("node %d still marked crashed after restart", id)
+		}
+	}
+
+	// SortedIndexes must walk ascending IDs even though registration was
+	// descending — it is the replay-critical Start/sampler sweep order.
+	idxs := n.SortedIndexes()
+	if len(idxs) != nodes {
+		t.Fatalf("SortedIndexes returned %d entries, want %d", len(idxs), nodes)
+	}
+	for i, idx := range idxs {
+		if id, _, _, _, _ := n.NodeStatsAt(idx); id != wire.NodeID(i) {
+			t.Fatalf("SortedIndexes[%d] resolves to node %d, want %d", i, id, i)
+		}
+	}
+}
+
+// TestLinkTableSparseFallback crosses the dense→sparse threshold mid-run
+// (via the test-only denseLinkLimit override) and asserts the accumulated
+// per-link byte counts survive the migration exactly.
+func TestLinkTableSparseFallback(t *testing.T) {
+	registerTestTypes()
+	old := denseLinkLimit
+	denseLinkLimit = 8
+	defer func() { denseLinkLimit = old }()
+
+	n := New(Config{
+		Uplink: Mbps100, Downlink: Mbps100,
+		Latency: UniformLatency(time.Millisecond),
+	})
+	recs := make([]*recorder, 0, 12)
+	addNode := func(id wire.NodeID) *recorder {
+		r := &recorder{}
+		recs = append(recs, r)
+		n.AddNode(id, r)
+		return r
+	}
+	for i := 0; i < 8; i++ {
+		addNode(wire.NodeID(i))
+	}
+	n.Start()
+
+	want := make(map[string]uint64)
+	send := func(from, to wire.NodeID, size int) {
+		recs[from].ctx.Send(to, &ping{Seq: 1, Size: uint32(size)})
+		n.RunUntilIdle(0)
+		want[fmt.Sprintf("%d->%d", from, to)] += uint64(size)
+	}
+	// Populate the dense matrix.
+	for f := 0; f < 8; f++ {
+		send(wire.NodeID(f), wire.NodeID((f+1)%8), 100+f)
+	}
+	if n.links.dense == nil || n.links.sparse != nil {
+		t.Fatal("link table should be dense at 8 nodes")
+	}
+
+	// Cross the threshold: nodes 8..11 push the population past the
+	// limit, so the next charge migrates dense → sparse. Start() is
+	// idempotent and wires up only the late additions.
+	for i := 8; i < 12; i++ {
+		addNode(wire.NodeID(i))
+	}
+	n.Start()
+	send(0, 8, 500)
+	if n.links.dense != nil || n.links.sparse == nil {
+		t.Fatal("link table did not migrate to sparse past the threshold")
+	}
+	send(3, 4, 77) // previously-dense pair keeps accumulating in sparse
+	send(9, 2, 333)
+	got := make(map[string]uint64)
+	for _, l := range n.LinkLoads() {
+		got[fmt.Sprintf("%d->%d", l.From, l.To)] = l.Bytes
+	}
+	for k, w := range want {
+		if got[k] < w {
+			t.Fatalf("link %s lost bytes across migration: have %d, want at least %d", k, got[k], w)
+		}
+	}
+
+	// LinkLoads stays sorted by (From, To) in both regimes.
+	loads := n.LinkLoads()
+	sorted := sort.SliceIsSorted(loads, func(i, j int) bool {
+		if loads[i].From != loads[j].From {
+			return loads[i].From < loads[j].From
+		}
+		return loads[i].To < loads[j].To
+	})
+	if !sorted {
+		t.Fatalf("LinkLoads unsorted after sparse migration: %v", loads)
+	}
+}
+
+// TestLinkTableUnknownDestination pins the overflow regime: sends to a
+// never-registered destination are still charged (the sender serialized
+// the frame) and appear in LinkLoads.
+func TestLinkTableUnknownDestination(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{
+		Uplink: Mbps100, Downlink: Mbps100,
+		Latency: UniformLatency(time.Millisecond),
+	})
+	a := &recorder{}
+	n.AddNode(0, a)
+	n.Start()
+	a.ctx.Send(999, &ping{Seq: 1, Size: 64})
+	n.RunUntilIdle(0)
+	var found bool
+	for _, l := range n.LinkLoads() {
+		if l.From == 0 && l.To == 999 && l.Bytes > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("send to unregistered node not charged: %v", n.LinkLoads())
+	}
+	if n.Dropped().Unknown != 1 {
+		t.Fatalf("unknown-destination drop not counted: %+v", n.Dropped())
+	}
+}
+
+// TestSendZeroAllocSparseLinks extends the steady-state zero-alloc pin to
+// the sparse link regime: past the dense threshold, Send+drain must still
+// not allocate once the sparse map's buckets are warm.
+func TestSendZeroAllocSparseLinks(t *testing.T) {
+	registerTestTypes()
+	old := denseLinkLimit
+	denseLinkLimit = 4
+	defer func() { denseLinkLimit = old }()
+
+	n := New(Config{
+		Uplink: Mbps100, Downlink: Mbps100,
+		Latency: UniformLatency(time.Millisecond),
+	})
+	const nodes = 16 // past the (overridden) dense limit from the start
+	recs := make([]*recorder, nodes)
+	for i := range recs {
+		recs[i] = &recorder{}
+		n.AddNode(wire.NodeID(i), recs[i])
+	}
+	n.Start()
+	msg := &ping{Seq: 1, Size: 64}
+
+	// Warm-up: touch every link we will exercise so the sparse map and
+	// receiver slices stop growing.
+	for i := 0; i < 64; i++ {
+		for f := 0; f < nodes; f++ {
+			recs[f].ctx.Send(wire.NodeID((f+1)%nodes), msg)
+		}
+		n.RunUntilIdle(0)
+		for _, r := range recs {
+			r.got = r.got[:0]
+		}
+	}
+	if n.links.sparse == nil {
+		t.Fatal("link table should be sparse under the overridden limit")
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for f := 0; f < nodes; f++ {
+			recs[f].ctx.Send(wire.NodeID((f+1)%nodes), msg)
+		}
+		n.RunUntilIdle(0)
+		for _, r := range recs {
+			r.got = r.got[:0]
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sparse-regime Send+drain allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestFanOutZeroAlloc pins the population fan-out path: one sender
+// unicasting to many registered receivers (the tree-relay shape) stays
+// allocation-free in steady state, independent of population size.
+func TestFanOutZeroAlloc(t *testing.T) {
+	registerTestTypes()
+	n := New(Config{
+		Uplink: Mbps100, Downlink: Mbps100,
+		Latency: UniformLatency(time.Millisecond),
+	})
+	const fanout = 32
+	src := &recorder{}
+	n.AddNode(0, src)
+	sinks := make([]*recorder, fanout)
+	for i := range sinks {
+		sinks[i] = &recorder{}
+		n.AddNode(wire.NodeID(1+i), sinks[i])
+	}
+	n.Start()
+	msg := &ping{Seq: 1, Size: 1024}
+
+	for i := 0; i < 64; i++ {
+		for k := 0; k < fanout; k++ {
+			src.ctx.Send(wire.NodeID(1+k), msg)
+		}
+		n.RunUntilIdle(0)
+		for _, s := range sinks {
+			s.got = s.got[:0]
+		}
+	}
+
+	allocs := testing.AllocsPerRun(100, func() {
+		for k := 0; k < fanout; k++ {
+			src.ctx.Send(wire.NodeID(1+k), msg)
+		}
+		n.RunUntilIdle(0)
+		for _, s := range sinks {
+			s.got = s.got[:0]
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state %d-way fan-out allocates %v allocs/op, want 0", fanout, allocs)
+	}
+}

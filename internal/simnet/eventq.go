@@ -33,14 +33,17 @@ type event struct {
 	// canceled supports Timer.Stop without heap surgery.
 	canceled bool
 	kind     eventKind
-	node     wire.NodeID
+	// nodeIdx is the dense index of the owning node (crash suppression for
+	// evTimer); noIndex for node-less evGeneric events.
+	nodeIdx int32
 
 	fn func() // evGeneric, evTimer
 
-	// evDeliver payload.
-	msg  wire.Message
-	from wire.NodeID
-	dst  *simNode
+	// evDeliver payload: endpoints by node pointer, so dispatch touches no
+	// map and no ID→node translation.
+	msg wire.Message
+	src *simNode
+	dst *simNode
 }
 
 // eventLess is the (at, seq) strict total order shared by every queue
@@ -149,6 +152,7 @@ func (q *eventQueue) recycle(ev *event) {
 	ev.canceled = false
 	ev.fn = nil
 	ev.msg = nil
+	ev.src = nil
 	ev.dst = nil
 	q.free = append(q.free, ev)
 }

@@ -16,6 +16,17 @@
 // goroutine in timestamp order, so runs are reproducible bit-for-bit given
 // the same seed.
 //
+// # Dense node indexing
+//
+// wire.NodeIDs are sparse (consensus nodes at 0.., full nodes at 100..,
+// clients at 1000..), so the simulator interns every ID to a dense int32
+// index at registration. All per-node hot-path state — the node table, the
+// crashed set (a bitset), per-link byte counters — is indexed by that dense
+// index, so a 10⁴–10⁵-node population costs flat arrays, not hash lookups,
+// on every Send/dispatch. Per-link accounting is a flat [from*n+to] matrix
+// up to DenseLinkNodeLimit nodes and degrades to a sparse index-pair map
+// above it (n² cells at 5·10⁴ nodes would be 20 GB).
+//
 // # Send accounting
 //
 // Send applies one uniform charging policy: whenever a live (non-crashed)
@@ -40,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"time"
 
 	"predis/internal/compute"
@@ -123,7 +135,9 @@ func (d DropCounts) Total() uint64 {
 	return d.Unknown + d.Crashed + d.Partitioned + d.Filtered + d.Lost + d.Undecodable
 }
 
-// linkKey identifies a directed sender→receiver pair.
+// linkKey identifies a directed sender→receiver pair by node ID. It is
+// only used for the rare unknown-destination overflow accounting; known
+// links are charged on the dense-index linkTable.
 type linkKey struct {
 	from, to wire.NodeID
 }
@@ -133,6 +147,9 @@ type LinkLoad struct {
 	From, To wire.NodeID
 	Bytes    uint64
 }
+
+// noIndex is the dense-index sentinel for "no node" (Network.At events).
+const noIndex int32 = -1
 
 // Network is the simulator. It is not safe for concurrent use; drive it
 // from one goroutine.
@@ -145,14 +162,20 @@ type Network struct {
 	nowNs int64
 	seq   uint64
 	q     eventQueue
-	nodes map[wire.NodeID]*simNode
+
+	// nodes is the dense node table (index = registration order); index
+	// interns sparse wire.NodeIDs to dense indices; order memoizes the
+	// ascending-ID permutation of indices (nil = stale, rebuilt lazily).
+	nodes []*simNode
+	index map[wire.NodeID]int32
+	order []int32
 
 	// timerSlab bump-allocates simTimer handles in blocks so After
 	// amortizes to ~1/timerSlabSize allocations per call.
 	timerSlab []simTimer
 
-	// fault injection
-	crashed    map[wire.NodeID]bool
+	// fault injection. crashed is a bitset over dense indices.
+	crashed    bitset
 	partition  func(from, to wire.NodeID) bool
 	dropFilter func(from, to wire.NodeID, m wire.Message) bool
 	mutator    func(from, to wire.NodeID, m wire.Message) wire.Message
@@ -160,13 +183,14 @@ type Network struct {
 
 	// sends counts Send calls by live senders; delivered counts messages
 	// handed to handlers; drops splits the difference by cause; bytesSent
-	// counts wire bytes charged to uplinks; linkBytes is the same total
-	// split per directed sender→receiver pair.
+	// counts wire bytes charged to uplinks; links is the same total
+	// split per directed sender→receiver pair (dense index matrix with a
+	// sparse fallback at large n).
 	sends     uint64
 	delivered uint64
 	drops     DropCounts
 	bytesSent uint64
-	linkBytes map[linkKey]uint64
+	links     linkTable
 
 	// OnDeliver, when non-nil, observes every successful delivery just
 	// before the handler runs. The harness uses it to measure propagation.
@@ -174,10 +198,15 @@ type Network struct {
 }
 
 type simNode struct {
-	id       wire.NodeID
-	net      *Network
-	handler  env.Handler
+	id  wire.NodeID
+	idx int32
+	net *Network
+	// rng is built lazily on first Rand(): its seed depends only on the
+	// node ID, so laziness is replay-invisible, and handlers that never
+	// draw randomness (the common case at 10⁴⁺-node scale) skip the
+	// ~5 KB source allocation entirely.
 	rng      *rand.Rand
+	handler  env.Handler
 	up, down Bandwidth
 	// upFree/downFree are the times (ns since Epoch) at which each NIC
 	// finishes its currently reserved serialization work.
@@ -196,12 +225,10 @@ var _ env.Context = (*simNode)(nil)
 // New creates an empty network.
 func New(cfg Config) *Network {
 	return &Network{
-		cfg:       cfg,
-		now:       Epoch,
-		nodes:     make(map[wire.NodeID]*simNode),
-		crashed:   make(map[wire.NodeID]bool),
-		lossRng:   rand.New(rand.NewSource(cfg.Seed ^ 0x10551055)),
-		linkBytes: make(map[linkKey]uint64),
+		cfg:     cfg,
+		now:     Epoch,
+		index:   make(map[wire.NodeID]int32),
+		lossRng: rand.New(rand.NewSource(cfg.Seed ^ 0x10551055)),
 	}
 }
 
@@ -231,14 +258,50 @@ func (n *Network) BytesSent() uint64 { return n.bytesSent }
 // heap (including canceled timers that have not been popped yet).
 func (n *Network) QueueLen() int { return n.q.len() }
 
+// NodeCount returns the number of registered nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// Index interns a node ID to its dense index, reporting whether the ID is
+// registered. Indices are stable for the lifetime of the network (crash,
+// restart, and quarantine churn never move a node).
+func (n *Network) Index(id wire.NodeID) (int32, bool) {
+	idx, ok := n.index[id]
+	return idx, ok
+}
+
+// SortedIndexes returns the dense indices of every registered node in
+// ascending node-ID order. The slice is memoized and rebuilt only when a
+// node is added; callers must not mutate it.
+func (n *Network) SortedIndexes() []int32 {
+	if n.order == nil {
+		n.order = make([]int32, len(n.nodes))
+		for i := range n.nodes {
+			n.order[i] = int32(i)
+		}
+		sort.Slice(n.order, func(a, b int) bool {
+			return n.nodes[n.order[a]].id < n.nodes[n.order[b]].id
+		})
+	}
+	return n.order
+}
+
 // NodeIDs returns every registered node ID in ascending order.
 func (n *Network) NodeIDs() []wire.NodeID {
-	ids := make([]wire.NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		ids = append(ids, id)
+	order := n.SortedIndexes()
+	ids := make([]wire.NodeID, len(order))
+	for i, idx := range order {
+		ids[i] = n.nodes[idx].id
 	}
-	sortNodeIDs(ids)
 	return ids
+}
+
+// NodeStatsAt returns the node ID and cumulative NIC counters of the node
+// at dense index idx: uplink/downlink serialization busy time and bytes
+// serialized out of / into the node. Index-addressed so samplers sweep
+// large populations without a hash lookup per node.
+func (n *Network) NodeStatsAt(idx int32) (id wire.NodeID, upBusy, downBusy time.Duration, bytesUp, bytesDown uint64) {
+	sn := n.nodes[idx]
+	return sn.id, sn.upBusy, sn.downBusy, sn.bytesUp, sn.bytesDown
 }
 
 // NICBusy returns the cumulative serialization busy time of a node's
@@ -246,35 +309,34 @@ func (n *Network) NodeIDs() []wire.NodeID {
 // link utilization over the interval (deltas can transiently exceed the
 // interval length: busy time is reserved ahead when a burst queues).
 func (n *Network) NICBusy(id wire.NodeID) (up, down time.Duration) {
-	sn, ok := n.nodes[id]
+	idx, ok := n.index[id]
 	if !ok {
 		return 0, 0
 	}
+	sn := n.nodes[idx]
 	return sn.upBusy, sn.downBusy
 }
 
 // NodeBytes returns the cumulative wire bytes serialized out of (sent)
 // and into (received) one node.
 func (n *Network) NodeBytes(id wire.NodeID) (sent, received uint64) {
-	sn, ok := n.nodes[id]
+	idx, ok := n.index[id]
 	if !ok {
 		return 0, 0
 	}
+	sn := n.nodes[idx]
 	return sn.bytesUp, sn.bytesDown
 }
 
 // LinkLoads returns cumulative per-link traffic sorted by (from, to) —
 // a deterministic order independent of map iteration.
 func (n *Network) LinkLoads() []LinkLoad {
-	out := make([]LinkLoad, 0, len(n.linkBytes))
-	for k, b := range n.linkBytes {
-		out = append(out, LinkLoad{From: k.from, To: k.to, Bytes: b})
-	}
-	sortBy(out, func(a, b LinkLoad) bool {
-		if a.From != b.From {
-			return a.From < b.From
+	out := n.links.loads(n.nodes)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].From != out[b].From {
+			return out[a].From < out[b].From
 		}
-		return a.To < b.To
+		return out[a].To < out[b].To
 	})
 	return out
 }
@@ -287,32 +349,31 @@ func (n *Network) AddNode(id wire.NodeID, h env.Handler) {
 
 // AddNodeRates registers a handler with explicit NIC rates (0 = unlimited).
 func (n *Network) AddNodeRates(id wire.NodeID, h env.Handler, up, down Bandwidth) {
-	if _, ok := n.nodes[id]; ok {
+	if _, ok := n.index[id]; ok {
 		panic(fmt.Sprintf("simnet: duplicate node %d", id))
 	}
+	idx := int32(len(n.nodes))
 	sn := &simNode{
 		id:       id,
+		idx:      idx,
 		net:      n,
 		handler:  h,
-		rng:      rand.New(rand.NewSource(n.cfg.Seed ^ (int64(id)+1)*0x5851f42d4c957f2d)),
 		up:       up,
 		down:     down,
 		upFree:   n.nowNs,
 		downFree: n.nowNs,
 	}
-	n.nodes[id] = sn
+	n.nodes = append(n.nodes, sn)
+	n.index[id] = idx
+	n.crashed.grow(len(n.nodes))
+	n.order = nil // sorted-ID memo is stale
 }
 
 // Start invokes Start on every handler that has not started yet, in ID
 // order for determinism. Call it after adding nodes and before Run.
 func (n *Network) Start() {
-	ids := make([]wire.NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		ids = append(ids, id)
-	}
-	sortNodeIDs(ids)
-	for _, id := range ids {
-		sn := n.nodes[id]
+	for _, idx := range n.SortedIndexes() {
+		sn := n.nodes[idx]
 		if !sn.started {
 			sn.started = true
 			sn.handler.Start(sn)
@@ -338,7 +399,7 @@ func (n *Network) setNow(ns int64) {
 func (n *Network) dispatch(ev *event) {
 	switch ev.kind {
 	case evDeliver:
-		if n.crashed[ev.node] || n.crashed[ev.from] {
+		if n.crashed.get(ev.dst.idx) || n.crashed.get(ev.src.idx) {
 			// Sender or receiver died while the message was in flight.
 			n.drops.Crashed++
 			return
@@ -363,11 +424,11 @@ func (n *Network) dispatch(ev *event) {
 		}
 		n.delivered++
 		if n.OnDeliver != nil {
-			n.OnDeliver(ev.from, ev.node, msg, n.now)
+			n.OnDeliver(ev.src.id, ev.dst.id, msg, n.now)
 		}
-		ev.dst.handler.Receive(ev.from, msg)
+		ev.dst.handler.Receive(ev.src.id, msg)
 	case evTimer:
-		if !n.crashed[ev.node] {
+		if !n.crashed.get(ev.nodeIdx) {
 			ev.fn()
 		}
 	default:
@@ -426,10 +487,11 @@ func (n *Network) RunUntilIdle(maxEvents int) int {
 
 // schedule enqueues an event at ns nanoseconds after the epoch (clamped
 // to now), taking a recycled event from the free list when one is
-// available: in steady state scheduling allocates nothing.
+// available: in steady state scheduling allocates nothing. nodeIdx is the
+// dense index of the owning node (noIndex for node-less events).
 //
 //predis:hotpath
-func (n *Network) schedule(ns int64, node wire.NodeID, kind eventKind, fn func()) *event {
+func (n *Network) schedule(ns int64, nodeIdx int32, kind eventKind, fn func()) *event {
 	if ns < n.nowNs {
 		ns = n.nowNs
 	}
@@ -437,7 +499,7 @@ func (n *Network) schedule(ns int64, node wire.NodeID, kind eventKind, fn func()
 	ev := n.q.alloc()
 	ev.at = ns
 	ev.seq = n.seq
-	ev.node = node
+	ev.nodeIdx = nodeIdx
 	ev.kind = kind
 	ev.fn = fn
 	n.q.push(ev)
@@ -445,8 +507,13 @@ func (n *Network) schedule(ns int64, node wire.NodeID, kind eventKind, fn func()
 }
 
 // Crash fail-stops a node: nothing is delivered to or from it anymore and
-// its pending timers are suppressed.
-func (n *Network) Crash(id wire.NodeID) { n.crashed[id] = true }
+// its pending timers are suppressed. Crashing an unregistered node is a
+// no-op.
+func (n *Network) Crash(id wire.NodeID) {
+	if idx, ok := n.index[id]; ok {
+		n.crashed.set(idx)
+	}
+}
 
 // Restart brings a crashed node back up. The crash flag is cleared, the
 // node's NIC queues are reset (a rebooted machine does not inherit its
@@ -457,20 +524,18 @@ func (n *Network) Crash(id wire.NodeID) { n.crashed[id] = true }
 // persistent state (ledger, keys) but has lost all in-flight timers and
 // messages. Restarting a node that is not crashed is a no-op.
 func (n *Network) Restart(id wire.NodeID) {
-	if !n.crashed[id] {
+	idx, ok := n.index[id]
+	if !ok || !n.crashed.get(idx) {
 		return
 	}
-	delete(n.crashed, id)
-	sn, ok := n.nodes[id]
-	if !ok {
-		return
-	}
+	n.crashed.clear(idx)
+	sn := n.nodes[idx]
 	sn.upFree = n.nowNs
 	sn.downFree = n.nowNs
 	if r, ok := sn.handler.(env.Restartable); ok {
 		// evTimer dispatch already suppresses the callback if the node
 		// re-crashed before the restart event ran.
-		n.schedule(n.nowNs, id, evTimer, r.OnRestart)
+		n.schedule(n.nowNs, idx, evTimer, r.OnRestart)
 	}
 }
 
@@ -481,11 +546,14 @@ func (n *Network) Restart(id wire.NodeID) {
 // protocol events. The callback runs on the simulator goroutine and is
 // not tied to any node (it fires even if every node is crashed).
 func (n *Network) At(d time.Duration, fn func()) {
-	n.schedule(int64(d), wire.NoNode, evGeneric, fn)
+	n.schedule(int64(d), noIndex, evGeneric, fn)
 }
 
 // Crashed reports whether a node is currently crashed.
-func (n *Network) Crashed(id wire.NodeID) bool { return n.crashed[id] }
+func (n *Network) Crashed(id wire.NodeID) bool {
+	idx, ok := n.index[id]
+	return ok && n.crashed.get(idx)
+}
 
 // SetPartition installs a reachability filter; messages where fn returns
 // true are dropped. Nil clears it.
@@ -524,8 +592,15 @@ func (s *simNode) ID() wire.NodeID { return s.id }
 // Now implements env.Context.
 func (s *simNode) Now() time.Time { return s.net.now }
 
-// Rand implements env.Context.
-func (s *simNode) Rand() *rand.Rand { return s.rng }
+// Rand implements env.Context. The source is built on first use; its seed
+// depends only on the node ID, so call-order laziness never changes a
+// draw sequence.
+func (s *simNode) Rand() *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(s.net.cfg.Seed ^ (int64(s.id)+1)*0x5851f42d4c957f2d))
+	}
+	return s.rng
+}
 
 // ComputePool implements compute.PoolProvider: handlers use
 // compute.PoolOf(ctx) to fork-join pure kernels (Merkle builds, stripe
@@ -548,7 +623,7 @@ func (s *simNode) Logf(format string, args ...any) {
 //predis:hotpath
 func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	net := s.net
-	if net.crashed[s.id] {
+	if net.crashed.get(s.idx) {
 		// A crashed sender emits nothing and is charged nothing.
 		return
 	}
@@ -560,18 +635,19 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 	// cannot know it will die downstream.
 	net.bytesSent += uint64(size)
 	s.bytesUp += uint64(size)
-	net.linkBytes[linkKey{s.id, to}] += uint64(size)
 	sendStart := later(net.nowNs, s.upFree)
 	sendEnd := sendStart + int64(txTime(size, s.up))
 	s.upFree = sendEnd
 	s.upBusy += time.Duration(sendEnd - sendStart)
 
-	dst, ok := net.nodes[to]
+	dstIdx, ok := net.index[to]
 	if !ok {
+		net.links.addUnknown(s.id, to, uint64(size))
 		net.drops.Unknown++
 		return
 	}
-	if net.crashed[to] {
+	net.links.add(s.idx, dstIdx, len(net.nodes), uint64(size))
+	if net.crashed.get(dstIdx) {
 		net.drops.Crashed++
 		return
 	}
@@ -596,6 +672,7 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 		}
 	}
 
+	dst := net.nodes[dstIdx]
 	lat := int64(net.latency(s.id, to))
 	// Downlink serialization with cut-through: reception can begin once the
 	// first bits arrive and the NIC is free.
@@ -608,9 +685,9 @@ func (s *simNode) Send(to wire.NodeID, m wire.Message) {
 
 	// Closure-free delivery: the message and endpoints ride in the event
 	// itself, so Send allocates nothing in steady state.
-	ev := net.schedule(deliverAt, to, evDeliver, nil)
+	ev := net.schedule(deliverAt, dstIdx, evDeliver, nil)
 	ev.msg = m
-	ev.from = s.id
+	ev.src = s
 	ev.dst = dst
 
 	// Speculative compute offload: the value the receiver will derive
@@ -637,7 +714,7 @@ func (s *simNode) After(d time.Duration, fn func()) env.Timer {
 		d = 0
 	}
 	net := s.net
-	ev := net.schedule(net.nowNs+int64(d), s.id, evTimer, fn)
+	ev := net.schedule(net.nowNs+int64(d), s.idx, evTimer, fn)
 	return net.newTimer(ev)
 }
 

@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// histGrowth is the geometric bucket ratio: ~5% relative resolution, so a
+// reported percentile is within 5% of the exact sample percentile.
+const histGrowth = 1.05
+
+// histBuckets spans 1 µs .. ~10⁴ s in histGrowth steps (bucket i covers
+// [1µs·r^i, 1µs·r^(i+1))); durations outside the span clamp to the edge
+// buckets. ~470 buckets ≈ 4 KB — fixed memory regardless of sample count.
+const histBuckets = 472
+
+// Histogram is a streaming duration summary with fixed memory: exact
+// Count/Min/Max/Mean plus percentiles read from geometric buckets (≤5%
+// relative error). Use it where Summarize's copy-and-sort would hold every
+// sample — a 10⁵-node delivery sweep records millions of latencies, and a
+// sorted copy per summary call would dominate the experiment's memory.
+// The zero value is ready to use.
+type Histogram struct {
+	counts   [histBuckets]uint32
+	count    int
+	min, max time.Duration
+	sum      float64 // float accumulator: 2⁶³ ns overflows after ~10⁶ × 2.5h
+}
+
+// Observe adds one duration to the histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += float64(d)
+	h.counts[bucketOf(d)]++
+}
+
+// bucketOf maps a duration to its geometric bucket, clamping to the span.
+func bucketOf(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	b := int(math.Log(float64(d)/float64(time.Microsecond)) / math.Log(histGrowth))
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// bucketUpper returns the upper edge of bucket b — the value reported for
+// percentiles landing in b, so the approximation always rounds up (a
+// reported latency is never better than reality).
+func bucketUpper(b int) time.Duration {
+	return time.Duration(float64(time.Microsecond) * math.Pow(histGrowth, float64(b+1)))
+}
+
+// Count returns how many durations were observed.
+func (h *Histogram) Count() int { return h.count }
+
+// Percentile returns the approximate p-th percentile (0..100): the upper
+// edge of the bucket holding the nearest-rank sample, clamped into
+// [Min, Max] so edge percentiles are exact.
+func (h *Histogram) Percentile(p float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(h.count) - 1e-9))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.count {
+		rank = h.count
+	}
+	seen := 0
+	for b := 0; b < histBuckets; b++ {
+		seen += int(h.counts[b])
+		if seen >= rank {
+			v := bucketUpper(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Summary renders the histogram in the same shape as Summarize:
+// Count/Min/Max/Mean are exact, percentiles carry the ≤5% bucket error.
+func (h *Histogram) Summary() Summary {
+	if h.count == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.count,
+		Min:   h.min,
+		Max:   h.max,
+		Mean:  time.Duration(h.sum / float64(h.count)),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+	}
+}

@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistogramMatchesSummarize cross-checks the streaming histogram
+// against the exact copy-and-sort path at small n: exact fields must match
+// exactly, percentiles within the documented 5% bucket error.
+func TestHistogramMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 10, 100, 5000} {
+		sample := make([]time.Duration, n)
+		var h Histogram
+		for i := range sample {
+			// Log-uniform over 10µs .. ~22min, covering many buckets.
+			d := time.Duration(float64(10*time.Microsecond) * pow(2, rng.Float64()*27))
+			sample[i] = d
+			h.Observe(d)
+		}
+		exact := Summarize(sample)
+		approx := h.Summary()
+		if approx.Count != exact.Count || approx.Min != exact.Min || approx.Max != exact.Max {
+			t.Fatalf("n=%d: exact fields diverge: %+v vs %+v", n, approx, exact)
+		}
+		if !within(approx.Mean, exact.Mean, 0.001) {
+			t.Fatalf("n=%d: mean %v vs exact %v", n, approx.Mean, exact.Mean)
+		}
+		for _, p := range []struct {
+			name           string
+			approx, exact_ time.Duration
+		}{
+			{"p50", approx.P50, exact.P50},
+			{"p90", approx.P90, exact.P90},
+			{"p99", approx.P99, exact.P99},
+		} {
+			if !within(p.approx, p.exact_, histGrowth-1) {
+				t.Fatalf("n=%d: %s %v vs exact %v (>%v%% off)",
+					n, p.name, p.approx, p.exact_, 100*(histGrowth-1))
+			}
+			if p.approx < exact.Min || p.approx > exact.Max {
+				t.Fatalf("n=%d: %s %v outside [min, max]", n, p.name, p.approx)
+			}
+		}
+	}
+}
+
+// TestHistogramEdges pins empty, single-sample, and out-of-span behaviour.
+func TestHistogramEdges(t *testing.T) {
+	var empty Histogram
+	if s := empty.Summary(); s != (Summary{}) {
+		t.Fatalf("empty histogram summary = %+v", s)
+	}
+	var one Histogram
+	one.Observe(42 * time.Millisecond)
+	s := one.Summary()
+	if s.Count != 1 || s.Min != 42*time.Millisecond || s.Max != 42*time.Millisecond {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+	// Percentiles clamp into [min, max], so one sample is reported exactly.
+	if s.P50 != 42*time.Millisecond || s.P99 != 42*time.Millisecond {
+		t.Fatalf("single-sample percentiles = %+v", s)
+	}
+	var clamp Histogram
+	clamp.Observe(0)                 // below span
+	clamp.Observe(100 * time.Minute) // within span
+	clamp.Observe(1e6 * time.Second) // clamps to the last bucket
+	if got := clamp.Summary(); got.Min != 0 || got.Max != 1e6*time.Second || got.Count != 3 {
+		t.Fatalf("clamped summary = %+v", got)
+	}
+}
+
+func within(a, b time.Duration, tol float64) bool {
+	if b == 0 {
+		return a == 0
+	}
+	r := float64(a)/float64(b) - 1
+	if r < 0 {
+		r = -r
+	}
+	return r <= tol
+}
+
+func pow(base, exp float64) float64 {
+	out := 1.0
+	for exp >= 1 {
+		out *= base
+		exp--
+	}
+	if exp > 0 {
+		// Linear interpolation of the fractional power is fine for test
+		// data generation; exactness is not needed here.
+		out *= 1 + exp*(base-1)
+	}
+	return out
+}

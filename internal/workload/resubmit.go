@@ -1,0 +1,102 @@
+package workload
+
+import "time"
+
+// dueEntry is one resubmission deadline: the transaction identified by seq
+// becomes eligible for resubmission at time at (lastSent + ResubmitAfter).
+type dueEntry struct {
+	at  time.Time
+	seq uint64
+}
+
+// dueLess orders deadlines by (at, seq); the seq tie-break keeps heap
+// behaviour fully deterministic.
+func dueLess(a, b dueEntry) bool {
+	if !a.at.Equal(b.at) {
+		return a.at.Before(b.at)
+	}
+	return a.seq < b.seq
+}
+
+// duePush inserts into the deadline min-heap.
+func duePush(h *[]dueEntry, e dueEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !dueLess(s[i], s[p]) {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+// duePop removes and returns the earliest deadline.
+func duePop(h *[]dueEntry) dueEntry {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && dueLess(s[c+1], s[c]) {
+			c++
+		}
+		if !dueLess(s[c], s[i]) {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
+}
+
+// seqPush inserts into the ready min-heap (ordered by sequence number, so
+// overdue transactions resubmit oldest-first).
+func seqPush(h *[]uint64, seq uint64) {
+	s := append(*h, seq)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if s[i] >= s[p] {
+			break
+		}
+		s[i], s[p] = s[p], s[i]
+		i = p
+	}
+	*h = s
+}
+
+// seqPop removes and returns the smallest ready sequence number.
+func seqPop(h *[]uint64) uint64 {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s[c+1] < s[c] {
+			c++
+		}
+		if s[c] >= s[i] {
+			break
+		}
+		s[i], s[c] = s[c], s[i]
+		i = c
+	}
+	*h = s
+	return top
+}

@@ -10,7 +10,6 @@
 package workload
 
 import (
-	"sort"
 	"time"
 
 	"predis/internal/env"
@@ -158,6 +157,16 @@ type Client struct {
 
 	pending   map[uint64]*pendingTx
 	resubmits uint64
+
+	// Resubmission deadline index (only populated when ResubmitAfter > 0).
+	// Every pending transaction has exactly one live entry across the two
+	// queues: dueQ orders not-yet-overdue entries by (deadline, seq) and
+	// readyQ holds overdue ones by seq, so each tick touches only due
+	// entries instead of scanning and sorting the whole pending set.
+	// Entries for confirmed transactions go stale in place and are
+	// discarded lazily on pop (the pending lookup fails).
+	dueQ   []dueEntry
+	readyQ []uint64
 }
 
 type pendingTx struct {
@@ -238,25 +247,26 @@ func (c *Client) tick() {
 
 // resubmitOverdue re-sends unconfirmed transactions to the next consensus
 // node (§III-E): with at most f faulty nodes, f+1 attempts reach an honest
-// packer. A few per tick bounds the extra load. Pending transactions are
-// visited in ascending sequence order — oldest first, and never in map
-// order, which would leak Go's randomized iteration into the simulation
-// schedule (predis-lint: determinism).
+// packer. A few per tick bounds the extra load. The deadline index makes
+// each tick O(due + resubmitted · log pending) instead of an O(pending)
+// scan-and-sort: entries whose deadline has passed migrate from dueQ to
+// readyQ, and the perTick resubmissions pop readyQ in ascending sequence
+// order — exactly the "smallest seqs among the overdue, oldest first"
+// order the scan produced, and never map order (predis-lint: determinism).
 func (c *Client) resubmitOverdue(now time.Time) {
 	const perTick = 8
-	count := 0
-	seqs := make([]uint64, 0, len(c.pending))
-	for seq := range c.pending {
-		seqs = append(seqs, seq)
-	}
-	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-	for _, seq := range seqs {
-		p := c.pending[seq]
-		if count >= perTick {
-			return
+	for len(c.dueQ) > 0 && !c.dueQ[0].at.After(now) {
+		e := duePop(&c.dueQ)
+		if p, ok := c.pending[e.seq]; ok && !p.done {
+			seqPush(&c.readyQ, e.seq)
 		}
-		if p.done || now.Sub(p.lastSent) < c.cfg.ResubmitAfter {
-			continue
+	}
+	count := 0
+	for count < perTick && len(c.readyQ) > 0 {
+		seq := seqPop(&c.readyQ)
+		p, ok := c.pending[seq]
+		if !ok || p.done {
+			continue // confirmed while waiting in the ready queue
 		}
 		p.target = (p.target + 1) % len(c.cfg.Targets)
 		p.lastSent = now
@@ -264,6 +274,7 @@ func (c *Client) resubmitOverdue(now time.Time) {
 		c.resubmits++
 		target := c.cfg.Targets[p.target]
 		c.ctx.Send(target, &types.SubmitTx{Tx: p.tx, Target: target})
+		duePush(&c.dueQ, dueEntry{at: now.Add(c.cfg.ResubmitAfter), seq: seq})
 		count++
 	}
 }
@@ -280,6 +291,9 @@ func (c *Client) submitOne(now time.Time) {
 		lastSent:  now,
 	}
 	c.pending[c.seq] = p
+	if c.cfg.ResubmitAfter > 0 {
+		duePush(&c.dueQ, dueEntry{at: now.Add(c.cfg.ResubmitAfter), seq: c.seq})
+	}
 	// Anchor the submit stage; the first consensus node to receive the
 	// transaction closes the span (earliest mark wins, so broadcast and
 	// resubmission never distort it).

@@ -183,7 +183,8 @@ func buildResubmitNet(t *testing.T, nTargets int, resubmitAfter time.Duration) (
 }
 
 // inject places an unconfirmed transaction in the client's pending set,
-// as if it had been submitted to Targets[target] at the epoch.
+// as if it had been submitted to Targets[target] at the epoch — including
+// the deadline-index entry submitOne would have pushed.
 func inject(cl *Client, seq uint64, target int, done bool) {
 	cl.pending[seq] = &pendingTx{
 		tx:        types.NewTransaction(100, seq, 512, 0),
@@ -191,6 +192,9 @@ func inject(cl *Client, seq uint64, target int, done bool) {
 		lastSent:  simnet.Epoch,
 		target:    target,
 		done:      done,
+	}
+	if cl.cfg.ResubmitAfter > 0 {
+		duePush(&cl.dueQ, dueEntry{at: simnet.Epoch.Add(cl.cfg.ResubmitAfter), seq: seq})
 	}
 }
 
