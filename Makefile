@@ -1,6 +1,6 @@
 # Same gates as .github/workflows/ci.yml.
 
-.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-scale bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke exec-smoke scale-smoke ci
+.PHONY: all build vet lint lint-fast test race fmt bench bench-kernels bench-e2e bench-scale bench-stream bench-smoke replay-smoke trace-smoke fuzz-smoke byz-smoke exec-smoke scale-smoke stream-smoke ci
 
 # The kernel micro-benchmark set (bench_kernels_test.go at the repo
 # root): simnet scheduling, wire framing, erasure coding, merkle, and
@@ -88,6 +88,32 @@ bench-scale:
 		| go run ./tools/benchjson -o BENCH_scale.json
 	@echo wrote BENCH_scale.json
 
+# bench-stream: the streaming-commit benchmark set (bench_stream_test.go)
+# — block vs stream on the latfloor LAN point (the confirmed-mean-ms
+# metric records the virtual-time latency cut next to the wall-clock
+# cost), plus the quick latfloor grid and the streaming quickstart —
+# converted to BENCH_stream.json so both dimensions stay committed and
+# diffable.
+bench-stream:
+	go test -run '^$$' -bench 'BenchmarkStream' -benchmem . \
+		| go run ./tools/benchjson -o BENCH_stream.json
+	@echo wrote BENCH_stream.json
+
+# stream-smoke: the streaming-commit gate, two halves. First the latency-
+# floor headline and the stream determinism tests under the race
+# detector: on LAN at equal load, streaming commit must cut mean and p99
+# confirmed latency ≥40% vs block mode with committed throughput within
+# 5%, and stream replay hashes must be invariant across compute-pool
+# sizes. Then replaydiff cross-process: the latfloor grid and a
+# streaming quickstart must be byte-identical between -workers 0 and
+# -workers 4 -parallel 2 runs in separate processes. Block-mode output
+# stays guarded by replay-smoke — the default -mode block schedule is
+# untouched by the streaming machinery.
+stream-smoke:
+	go test -race -run 'TestStream|TestLatencyFloor' ./internal/harness/
+	go run ./tools/replaydiff latfloor
+	go run ./tools/replaydiff quickstart -mode stream
+
 # scale-smoke: the population-scale CI gate — the quick scale sweep
 # (N ∈ {100, 1k, 10k}, four tree shapes each, aggregated client flows)
 # must finish inside a 60 s budget. Before flow aggregation and the
@@ -106,6 +132,8 @@ bench-smoke:
 	go test -run '^$$' -bench '$(KERNEL_BENCH)' -benchtime=1x -benchmem . \
 		| go run ./tools/benchjson -o /dev/null
 	go test -run '^$$' -bench 'BenchmarkE2E' -benchtime=1x . \
+		| go run ./tools/benchjson -o /dev/null
+	go test -run '^$$' -bench 'BenchmarkStream' -benchtime=1x . \
 		| go run ./tools/benchjson -o /dev/null
 
 # replay-smoke: the compute-plane determinism gate — the replay hash,
@@ -160,4 +188,4 @@ trace-smoke:
 	go run ./tools/tracecheck bin/trace-smoke.json
 	@rm -f bin/trace-smoke.json bin/trace-smoke-stages.csv
 
-ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke exec-smoke scale-smoke
+ci: fmt build vet lint race trace-smoke bench-smoke replay-smoke fuzz-smoke byz-smoke exec-smoke scale-smoke stream-smoke

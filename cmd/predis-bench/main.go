@@ -11,11 +11,14 @@
 //	predis-bench [-quick] [-seed N] <experiment-id>... [-trace] [-metrics]
 //
 // Experiment ids: quickstart fig4a fig4b fig4c fig4d fig5wan fig5lan fig6
-// fig7 fig8 recovery byzantine contention scale. The scale experiment
-// sweeps 10²..5·10⁴-node populations (aggregated client flows, k-ary
-// multicast trees); its latency/depth/throughput tables are
+// fig7 fig8 recovery byzantine contention scale latfloor. The scale
+// experiment sweeps 10²..5·10⁴-node populations (aggregated client
+// flows, k-ary multicast trees); its latency/depth/throughput tables are
 // deterministic while its machine-cost table (wall-clock, peak RSS) is
 // inherently host-dependent, so scale does not participate in -replay.
+// The latfloor experiment contrasts block-granularity commit with
+// streaming commit (-mode stream elsewhere) on the same P-PBFT
+// deployment; see EXPERIMENTS.md "Latency floor".
 //
 // Observability (experiments that support it: quickstart, recovery):
 //
@@ -54,6 +57,7 @@ type cli struct {
 	seed       int64
 	parallel   int
 	workers    int
+	mode       string
 	replay     bool
 	trace      bool
 	traceOut   string
@@ -73,9 +77,10 @@ func parse(argv []string) (cli, []string, error) {
 	fs.Int64Var(&c.seed, "seed", 1, "simulation seed")
 	fs.IntVar(&c.parallel, "parallel", 1, "run up to N independent experiment points concurrently (results are identical to -parallel 1)")
 	fs.IntVar(&c.workers, "workers", 0, "offload pure crypto/erasure work inside each point to N pool workers (0 = inline; results and replay hashes are identical for any N)")
+	fs.StringVar(&c.mode, "mode", "block", "commit mode for mode-aware experiments (quickstart): block = classic block-granularity commit, stream = streaming commit (seal→order→distribute→execute pipelined at bundle granularity); latfloor always contrasts both")
 	fs.StringVar(&c.cpuProfile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&c.memProfile, "memprofile", "", "write a heap profile to this file at exit")
-	fs.BoolVar(&c.replay, "replay", false, "print the delivery replay hash for supporting experiments (quickstart, recovery, byzantine, contention); identical across -workers/-parallel settings")
+	fs.BoolVar(&c.replay, "replay", false, "print the delivery replay hash for supporting experiments (quickstart, recovery, byzantine, contention, latfloor); identical across -workers/-parallel settings")
 	fs.BoolVar(&c.trace, "trace", false, "write Chrome trace-event JSON for supporting experiments")
 	fs.StringVar(&c.traceOut, "trace-out", "", "trace output path (default <id>-trace.json)")
 	fs.BoolVar(&c.metrics, "metrics", false, "write stage/metric/sample CSVs for supporting experiments")
@@ -131,9 +136,16 @@ func run(argv []string) int {
 			}
 		}()
 	}
+	if c.mode != "block" && c.mode != "stream" {
+		fmt.Fprintf(os.Stderr, "predis-bench: -mode must be block or stream, got %q\n", c.mode)
+		return 2
+	}
 	pool := compute.NewPool(c.workers)
 	defer pool.Close()
-	opts := harness.Options{Quick: c.quick, Seed: c.seed, Workers: c.parallel, Compute: pool}
+	opts := harness.Options{
+		Quick: c.quick, Seed: c.seed, Workers: c.parallel, Compute: pool,
+		Stream: c.mode == "stream",
+	}
 
 	switch args[0] {
 	case "list":
@@ -300,12 +312,18 @@ Flags:
   -workers N     offload pure crypto/erasure work inside each point to a
                  pool of N workers (0 = inline; composes with -parallel;
                  results and replay hashes are identical for any N)
+  -mode M        block (default) or stream. Stream switches mode-aware
+                 experiments (quickstart) to streaming commit: bundles
+                 seal per transaction, consensus orders bundle-chain
+                 cursor advances, Multi-Zone distributes speculatively at
+                 proposal time, execution merges per bundle. latfloor
+                 contrasts both modes regardless of -mode.
   -trace         write Chrome trace-event JSON + stage-latency CSV
   -trace-out P   trace output path (default <id>-trace.json)
   -metrics       write stage/metric/sample/link CSVs
   -metrics-out P CSV path prefix (default <id>)
   -replay        print "replay <id> <sha256> <deliveries>" for supporting
-                 experiments (quickstart, recovery, byzantine, contention);
+                 experiments (quickstart, recovery, byzantine, contention, latfloor);
                  the hash is identical for any -workers/-parallel setting
   -cpuprofile P  write a CPU profile (inspect with go tool pprof)
   -memprofile P  write a heap profile at exit

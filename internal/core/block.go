@@ -82,7 +82,51 @@ func (m *Mempool) CutChains(self wire.NodeID, prev []uint64) []Cut {
 // to propose).
 func (m *Mempool) BuildPredisBlock(height uint64, parentHash crypto.Hash, prev []uint64,
 	leader wire.NodeID) (*PredisBlock, bool) {
-	cuts := m.CutChains(leader, prev)
+	return m.packBlock(height, parentHash, prev, m.CutChains(leader, prev), leader, false)
+}
+
+// CutChainsEager runs the streaming-mode cutting rule: every non-banned
+// chain is cut at this node's own tip (clamped to never regress below
+// prev) instead of at the n_c−f quorum receipt height. The leader does not
+// wait for heartbeat rounds to prove dissemination; replicas that lack a
+// referenced bundle fetch it during validation (ErrBlockMissing →
+// consensus.ErrPending), so safety is unchanged and only proposal-time
+// liveness is spent when the leader runs ahead of the swarm.
+func (m *Mempool) CutChainsEager(prev []uint64) []Cut {
+	nc := m.params.NC
+	selfTips := m.Tips()
+	cuts := make([]Cut, nc)
+	for i := 0; i < nc; i++ {
+		cut := prev[i]
+		if !m.banned[i] && selfTips[i] > cut {
+			cut = selfTips[i]
+		}
+		c := Cut{Height: cut}
+		if cut > prev[i] {
+			c.Head = m.chains[i].at(cut).Header.Hash()
+		}
+		cuts[i] = c
+	}
+	return cuts
+}
+
+// BuildPredisBlockStream packs a streaming-mode Predis block using the
+// eager cutting rule. When the eager cut confirms nothing new it returns
+// ok=false — unless allowEmpty is set, in which case it emits a drain
+// block whose cuts equal prev (zero bundles, TxRoot of an empty leaf set).
+// Drain blocks exist so pipelined engines (chained HotStuff) can push
+// already-proposed cuts over their multi-block commit rule without waiting
+// for new payload; ValidatePredisBlock accepts them because freshness is a
+// builder-side rule only.
+func (m *Mempool) BuildPredisBlockStream(height uint64, parentHash crypto.Hash, prev []uint64,
+	leader wire.NodeID, allowEmpty bool) (*PredisBlock, bool) {
+	return m.packBlock(height, parentHash, prev, m.CutChainsEager(prev), leader, allowEmpty)
+}
+
+// packBlock assembles, roots and signs a block over the given cuts,
+// enforcing the builder-side freshness rule unless allowEmpty.
+func (m *Mempool) packBlock(height uint64, parentHash crypto.Hash, prev []uint64,
+	cuts []Cut, leader wire.NodeID, allowEmpty bool) (*PredisBlock, bool) {
 	fresh := false
 	for i, c := range cuts {
 		if c.Height > prev[i] {
@@ -90,7 +134,7 @@ func (m *Mempool) BuildPredisBlock(height uint64, parentHash crypto.Hash, prev [
 			break
 		}
 	}
-	if !fresh {
+	if !fresh && !allowEmpty {
 		return nil, false
 	}
 	blk := &PredisBlock{

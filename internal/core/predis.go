@@ -68,6 +68,33 @@ type Options struct {
 	// Retry is the backoff policy for missing-bundle fetches and catch-up
 	// rounds. The zero value selects env.DefaultBackoff(2×BundleInterval).
 	Retry env.Backoff
+	// Stream enables streaming commit mode (StreamChain-style): every
+	// submitted transaction seals into a bundle immediately instead of
+	// waiting for the BundleInterval tick, and proposals cut chains
+	// eagerly at this node's own tips instead of waiting for n_c−f
+	// receipt confirmations through the tip matrix — replicas that have
+	// not yet received a referenced bundle fall back to the ErrPending
+	// fetch-and-retry path. Off (the default) reproduces block mode
+	// byte-for-byte.
+	Stream bool
+	// StreamDrain, in stream mode, lets BuildProposal emit a cursor block
+	// with no cut advance while previously proposed cuts are still
+	// uncommitted. Chained engines (HotStuff) need such drain blocks to
+	// push the commit 3-chain over the tail of traffic at network speed;
+	// per-instance engines (PBFT) commit each slot independently and
+	// leave this off.
+	StreamDrain bool
+	// OnProposal, in stream mode, fires for every cursor block this node
+	// builds or successfully validates — before any quorum forms — so
+	// Multi-Zone distributors can begin speculative distribution. May
+	// fire more than once per block (build + validate, re-proposals);
+	// consumers dedupe by block hash. Never fires in block mode.
+	OnProposal func(blk *PredisBlock)
+	// OnEvict, in stream mode, fires when the consensus engine abandons
+	// a proposed cursor block without committing it (view change, fork
+	// prune) so speculative distribution can be retracted. Never fires in
+	// block mode.
+	OnEvict func(blk *PredisBlock)
 	// Trace, when non-nil, records the bundle_sealed lifecycle stage
 	// (first queued transaction → bundle packed and signed). Nil disables
 	// tracing at zero cost.
@@ -216,13 +243,22 @@ func (p *Predis) armProduceTimer() {
 }
 
 // SubmitTx enqueues a client transaction for bundling; full bundles are
-// emitted immediately (without waiting for the interval timer).
+// emitted immediately (without waiting for the interval timer). In stream
+// mode every submission seals immediately: the bundle-chain cursor
+// advances at transaction granularity and the interval timer only paces
+// heartbeats.
 func (p *Predis) SubmitTx(tx *types.Transaction) {
 	if p.opts.Fault == FaultSilent {
 		return
 	}
 	p.queue = append(p.queue, tx)
 	p.queueTimes = append(p.queueTimes, p.ctx.Now())
+	if p.opts.Stream {
+		for len(p.queue) > 0 {
+			p.produceBundle()
+		}
+		return
+	}
 	for len(p.queue) >= p.mp.params.BundleSize {
 		p.produceBundle()
 	}
@@ -525,7 +561,10 @@ func (p *Predis) parentState(parent wire.Message) ([]uint64, crypto.Hash, error)
 }
 
 // BuildProposal implements consensus.Application: cut the chains relative
-// to the parent block and pack a Predis block.
+// to the parent block and pack a Predis block. Block mode cuts by the
+// §III-B receipt rule; stream mode cuts eagerly at this node's own tips
+// (and, with StreamDrain, emits empty drain blocks while proposed cuts
+// await commit), announcing the proposal for speculative distribution.
 func (p *Predis) BuildProposal(height uint64, parent wire.Message) (wire.Message, crypto.Hash, bool) {
 	if p.opts.Fault != FaultNone {
 		return nil, crypto.ZeroHash, false
@@ -535,11 +574,37 @@ func (p *Predis) BuildProposal(height uint64, parent wire.Message) (wire.Message
 		p.ctx.Logf("predis: build: %v", err)
 		return nil, crypto.ZeroHash, false
 	}
-	blk, ok := p.mp.BuildPredisBlock(height, parentHash, prev, p.opts.Self)
+	var blk *PredisBlock
+	var ok bool
+	if p.opts.Stream {
+		drain := p.opts.StreamDrain && p.cutsAhead(prev)
+		blk, ok = p.mp.BuildPredisBlockStream(height, parentHash, prev, p.opts.Self, drain)
+	} else {
+		blk, ok = p.mp.BuildPredisBlock(height, parentHash, prev, p.opts.Self)
+	}
 	if !ok {
 		return nil, crypto.ZeroHash, false
 	}
+	if p.opts.Stream && p.opts.OnProposal != nil {
+		p.opts.OnProposal(blk)
+	}
 	return blk, blk.Hash(), true
+}
+
+// cutsAhead reports whether the parent chain's cuts confirm bundles the
+// committed state has not: the drain gate. While true, the tail of
+// ordered-but-uncommitted traffic still needs follow-up blocks to push a
+// chained engine's commit rule over it; once committed cuts catch up the
+// network quiesces (drain blocks themselves never advance cuts, so they
+// cannot re-arm the gate).
+func (p *Predis) cutsAhead(prev []uint64) bool {
+	committed := p.mp.Confirmed()
+	for i := range prev {
+		if prev[i] > committed[i] {
+			return true
+		}
+	}
+	return false
 }
 
 // ValidateProposal implements consensus.Application.
@@ -570,7 +635,41 @@ func (p *Predis) ValidateProposal(height uint64, payload, parent wire.Message) (
 	if err != nil {
 		return crypto.ZeroHash, err
 	}
+	if p.opts.Stream && p.opts.OnProposal != nil {
+		p.opts.OnProposal(blk)
+	}
 	return blk.Hash(), nil
+}
+
+// OnProposalEvicted implements consensus.ProposalEvicter: the engine
+// abandoned an ordered-but-uncommitted cursor block (view change, fork
+// prune), so retract its speculative distribution. Retraction is keyed by
+// payload identity, not slot: a payload that committed at its height —
+// possibly through another path (catch-up, competing fork) — must never
+// be retracted, so the block hash is compared against what actually
+// committed there. When the committed block at an old height is no longer
+// retained the eviction is conservatively dropped; full-node spec-buffer
+// TTL sweeps reclaim any leak.
+func (p *Predis) OnProposalEvicted(height uint64, payload wire.Message) {
+	if !p.opts.Stream || p.opts.OnEvict == nil {
+		return
+	}
+	blk, ok := payload.(*PredisBlock)
+	if !ok {
+		return
+	}
+	switch {
+	case height == p.lastHeight:
+		if blk.Hash() == p.lastBlockHash {
+			return // this exact payload committed
+		}
+	case height < p.lastHeight:
+		committed := p.recentBlock(height)
+		if committed == nil || committed.Hash() == blk.Hash() {
+			return // committed, or unverifiable — do not retract
+		}
+	}
+	p.opts.OnEvict(blk)
 }
 
 // OnCommit implements consensus.Application.

@@ -313,6 +313,17 @@ func (m *Machine) ExecuteBlock(pool *compute.Pool, height uint64, txs []*types.T
 	levels := m.levelize(txs, sem)
 	cache := NewMVCache()
 	res := Result{Height: height, Txs: len(sem), Levels: len(levels)}
+	m.runLevels(pool, txs, levels, cache, 0, &res)
+	m.commit(cache, &res)
+	return res
+}
+
+// runLevels executes dependency levels against the block's cache, tagging
+// merged writes with lvlBase+level so callers that execute a block in
+// several leveling units (per-bundle streaming) keep cache versions
+// monotonic across units.
+func (m *Machine) runLevels(pool *compute.Pool, txs []*types.Transaction, levels [][]int,
+	cache *MVCache, lvlBase int, res *Result) {
 	for lvl, idxs := range levels {
 		if len(idxs) > res.MaxWidth {
 			res.MaxWidth = len(idxs)
@@ -331,8 +342,30 @@ func (m *Machine) ExecuteBlock(pool *compute.Pool, height uint64, txs []*types.T
 			} else {
 				res.Applied++
 			}
-			cache.Merge(lvl, out[i].writes)
+			cache.Merge(lvlBase+lvl, out[i].writes)
 		}
+	}
+}
+
+// ExecuteBlockBundles is the streaming-mode committer: it executes one
+// committed block's transactions bundle by bundle, levelizing each bundle
+// independently and merging its levels into the shared per-block cache at
+// bundle joins instead of one block-wide join. Cross-bundle conflicts
+// need no analysis — a later bundle's snapshot already contains every
+// earlier bundle's merged writes, which serializes bundles exactly as
+// commit order does — so the state root equals ExecuteBlock's over the
+// flattened transaction sequence, for any worker count.
+func (m *Machine) ExecuteBlockBundles(pool *compute.Pool, height uint64, bundles [][]*types.Transaction) Result {
+	cache := NewMVCache()
+	res := Result{Height: height}
+	lvlBase := 0
+	for _, txs := range bundles {
+		sem := semantic(txs)
+		levels := m.levelize(txs, sem)
+		res.Txs += len(sem)
+		res.Levels += len(levels)
+		m.runLevels(pool, txs, levels, cache, lvlBase, &res)
+		lvlBase += len(levels)
 	}
 	m.commit(cache, &res)
 	return res

@@ -32,13 +32,22 @@ type Options struct {
 	// share the one pool.
 	Compute *compute.Pool
 	// Replay, when non-nil, is attached to the network of experiments
-	// that support it (quickstart, recovery): every delivery is folded
-	// into the trace so external callers (predis-bench -replay,
+	// that support it (quickstart, recovery, latfloor): every delivery is
+	// folded into the trace so external callers (predis-bench -replay,
 	// tools/replaydiff) can assert cross-process hash equality. The
 	// sweep experiments leave it untouched — their points run
 	// concurrently under Workers, so a single shared trace would fold
-	// deliveries in nondeterministic order.
+	// deliveries in nondeterministic order. latfloor drops to sequential
+	// execution when Replay is set, for the same reason.
 	Replay *ReplayTrace
+	// Stream switches mode-aware experiments (quickstart) to streaming
+	// commit: producers expose running bundle-chain cursors, consensus
+	// orders cursor advances, distribution starts speculatively at seal
+	// time, and execution merges per bundle. Off (the default), every
+	// experiment is byte-for-byte its historical block-mode self.
+	// Experiments that contrast both modes themselves (latfloor) ignore
+	// this flag.
+	Stream bool
 }
 
 func (o Options) seed() int64 {
@@ -78,9 +87,10 @@ func Registry() []Experiment {
 		{"recovery", "Recovery: relayer & leader crash/restart — dip depth and time-to-recover", Recovery},
 		{"byzantine", "Byzantine: data-plane adversaries — Eq. 4 delivery sweep, attack windows, self-healing", Byzantine},
 		{"contention", "Contention: deterministic parallel execution vs serial under workload skew", Contention},
-		// scale stays last: quick_results.txt refreshes append its section
-		// without perturbing the existing ones.
+		// New experiments append at the end: quick_results.txt refreshes
+		// add their sections without perturbing the existing ones.
 		{"scale", "Scale: 10⁴–10⁵-node population — delivery latency and flow throughput, deep vs shallow trees", Scale},
+		{"latfloor", "Latency floor: block vs streaming commit (P-PBFT, LAN+WAN) — confirmed latency, throughput parity, speculation waste", LatencyFloor},
 	}
 }
 

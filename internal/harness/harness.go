@@ -67,6 +67,17 @@ type PointSpec struct {
 	Duration   time.Duration
 	Seed       int64
 	Faults     map[wire.NodeID]core.FaultMode
+	// BundleInterval overrides the producer's bundle seal interval
+	// (default 20ms, the value every experiment used historically).
+	BundleInterval time.Duration
+	// Stream enables streaming commit (see node.Config.Stream): bundles
+	// seal per transaction, cuts are eager, consensus pipelines, and
+	// execution merges at bundle joins. Off, the point is byte-for-byte
+	// the historical block-mode measurement.
+	Stream bool
+	// Pipeline is the PBFT in-flight instance window; meaningful with
+	// Stream (default 1 = classic single-slot PBFT).
+	Pipeline int
 	// Trace, when non-nil, folds every delivery into a replay hash so
 	// tests can assert two same-seed runs are byte-identical.
 	Trace *ReplayTrace
@@ -99,6 +110,9 @@ func (s *PointSpec) withDefaults() PointSpec {
 	if out.Seed == 0 {
 		out.Seed = 1
 	}
+	if out.BundleInterval == 0 {
+		out.BundleInterval = 20 * time.Millisecond
+	}
 	return out
 }
 
@@ -109,6 +123,11 @@ type PointResult struct {
 	Latency          stats.Summary
 	Blocks           int
 	ViewOrTimeouts   uint64
+	// SpecEvictions counts stream-mode proposal retractions across all
+	// nodes — the speculation-waste signal: each one is a block that was
+	// speculatively announced (and, under Multi-Zone, speculatively
+	// distributed) but did not commit as proposed. Always 0 in block mode.
+	SpecEvictions uint64
 }
 
 // RunPoint builds the deployment for one spec, runs it, and measures.
@@ -141,13 +160,14 @@ func RunPoint(spec PointSpec) (PointResult, error) {
 
 	suite := crypto.NewSimSuite(s.NC, uint64(s.Seed)+100)
 	nodes := make([]*node.Node, s.NC)
+	var evictions uint64
 	for i := 0; i < s.NC; i++ {
 		i := i
 		fault := core.FaultNone
 		if s.Faults != nil {
 			fault = s.Faults[wire.NodeID(i)]
 		}
-		n, err := node.New(node.Config{
+		cfg := node.Config{
 			Mode:           mode,
 			Engine:         engine,
 			NC:             s.NC,
@@ -156,16 +176,24 @@ func RunPoint(spec PointSpec) (PointResult, error) {
 			Signer:         suite.Signer(i),
 			BatchSize:      s.BatchSize,
 			BundleSize:     s.BundleSize,
-			BundleInterval: 20 * time.Millisecond,
+			BundleInterval: s.BundleInterval,
 			ViewTimeout:    2 * time.Second,
 			Fault:          fault,
+			Stream:         s.Stream,
+			Pipeline:       s.Pipeline,
 			ReplyToClients: true,
 			OnCommit: func(height uint64, txs []*types.Transaction) {
 				if i == 0 {
 					col.RecordNodeCommit(net.Now(), len(txs))
 				}
 			},
-		})
+		}
+		if s.Stream {
+			// Count retractions as the speculation-waste signal (the
+			// simulation runs on one goroutine, so a bare counter is safe).
+			cfg.OnBlockEvict = func(*core.PredisBlock) { evictions++ }
+		}
+		n, err := node.New(cfg)
 		if err != nil {
 			return PointResult{}, err
 		}
@@ -208,6 +236,7 @@ func RunPoint(spec PointSpec) (PointResult, error) {
 		ClientThroughput: col.ClientThroughput(),
 		Latency:          col.Latency(),
 		Blocks:           blocks,
+		SpecEvictions:    evictions,
 	}
 	// Engine diagnostics from node 0.
 	switch e := nodes[0].Engine().(type) {

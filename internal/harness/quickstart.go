@@ -80,7 +80,10 @@ func Quickstart(o Options) ([]*stats.Table, error) {
 		return nil, err
 	}
 
-	// Consensus group: P-HS with Multi-Zone distribution hooks.
+	// Consensus group: P-HS with Multi-Zone distribution hooks. With
+	// Options.Stream the same deployment runs in streaming-commit mode:
+	// eager cuts, speculative stripe distribution at proposal time, and
+	// per-bundle execution merges.
 	for i := 0; i < nc; i++ {
 		i := i
 		host, err := multizone.NewConsensusHost(multizone.HostConfig{
@@ -90,6 +93,7 @@ func Quickstart(o Options) ([]*stats.Table, error) {
 			BundleSize:     50,
 			BundleInterval: 20 * time.Millisecond,
 			ViewTimeout:    2 * time.Second,
+			Stream:         o.Stream,
 			Striper:        striper,
 			ReplyToClients: true,
 			Trace:          tracer,
@@ -110,6 +114,7 @@ func Quickstart(o Options) ([]*stats.Table, error) {
 	// Zones of full nodes joining incrementally, with one cross-zone
 	// backup peer each (the Fig. 7 deployment shape, scaled down).
 	fullID := func(z, k int) wire.NodeID { return wire.NodeID(100 + z*100 + k) }
+	fulls := make([]*multizone.FullNode, 0, zones*perZone)
 	join := 0
 	for z := 0; z < zones; z++ {
 		for k := 0; k < perZone; k++ {
@@ -138,6 +143,7 @@ func Quickstart(o Options) ([]*stats.Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			fulls = append(fulls, fn)
 			net.AddNode(id, &multizone.Delayed{Inner: fn, Delay: time.Duration(join) * 20 * time.Millisecond})
 			join++
 		}
@@ -178,18 +184,36 @@ func Quickstart(o Options) ([]*stats.Table, error) {
 
 	// Headline numbers plus the per-stage latency breakdown.
 	lat := col.Latency()
-	summary := &stats.Table{
-		Title: "Quickstart: P-HS + Multi-Zone (rows: 1=committed tx/s, " +
-			"2=confirmed tx/s, 3=mean latency ms, 4=p99 latency ms, 5=blocks)",
-		XLabel: "row",
+	title := "Quickstart: P-HS + Multi-Zone (rows: 1=committed tx/s, " +
+		"2=confirmed tx/s, 3=mean latency ms, 4=p99 latency ms, 5=blocks, " +
+		"6=p50 latency ms, 7=p90 latency ms"
+	if o.Stream {
+		title += ", 8=spec finalized, 9=spec wasted"
 	}
-	sum := &stats.Series{Name: "P-HS+MZ"}
+	summary := &stats.Table{Title: title + ")", XLabel: "row"}
+	name := "P-HS+MZ"
+	if o.Stream {
+		name = "P-HS+MZ stream"
+	}
+	sum := &stats.Series{Name: name}
 	_, _, _, blocks := col.Counts()
 	sum.Add(1, col.Throughput())
 	sum.Add(2, col.ClientThroughput())
 	sum.Add(3, float64(lat.Mean)/float64(time.Millisecond))
 	sum.Add(4, float64(lat.P99)/float64(time.Millisecond))
 	sum.Add(5, float64(blocks))
+	sum.Add(6, float64(lat.P50)/float64(time.Millisecond))
+	sum.Add(7, float64(lat.P90)/float64(time.Millisecond))
+	if o.Stream {
+		var hits, waste uint64
+		for _, fn := range fulls {
+			h, w := fn.SpecStats()
+			hits += h
+			waste += w
+		}
+		sum.Add(8, float64(hits))
+		sum.Add(9, float64(waste))
+	}
 	summary.Series = append(summary.Series, sum)
 
 	return []*stats.Table{summary, tracer.StageTable()}, nil

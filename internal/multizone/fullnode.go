@@ -177,6 +177,10 @@ type FullNode struct {
 	pulls      map[wire.NodeID]*pullState
 	recentBlks []*core.PredisBlock // retention ring serving BlockRequests
 	catchup    *zoneCatchup
+	// specBlocks buffers speculatively pushed *proposed* blocks (streaming
+	// commit) by block hash until the ordered copy finalizes them, a
+	// ZoneSpecDiscard retracts them, or the TTL sweep expires them.
+	specBlocks map[crypto.Hash]*specEntry
 
 	// Periodic timers, stored so a restart can re-arm them (the fires
 	// suppressed during a crash permanently kill a self-re-arming chain).
@@ -202,6 +206,8 @@ type FullNode struct {
 	refetches   uint64
 	quarantines uint64
 	rewires     uint64
+	specHits    uint64 // speculative blocks the ordered chain finalized
+	specWaste   uint64 // speculative blocks discarded, superseded, or expired
 }
 
 var _ env.Handler = (*FullNode)(nil)
@@ -234,6 +240,7 @@ func NewFullNode(cfg FullNodeConfig) (*FullNode, error) {
 		starve:       make(map[uint8]int),
 		stripeSeen:   make(map[uint8]time.Time),
 		refetching:   make(map[crypto.Hash]bool),
+		specBlocks:   make(map[crypto.Hash]*specEntry),
 		lastCuts:     core.ZeroCuts(c.NC),
 	}, nil
 }
@@ -257,6 +264,11 @@ func (f *FullNode) RelayedStripes() []uint8 {
 func (f *FullNode) Stats() (stripes, bundles, blocks uint64) {
 	return f.stripesIn, f.bundles, f.blocks
 }
+
+// SpecStats returns how many speculatively delivered blocks the ordered
+// chain finalized (hits) and how many were discarded, superseded, or
+// expired unused (waste).
+func (f *FullNode) SpecStats() (hits, waste uint64) { return f.specHits, f.specWaste }
 
 // ID returns this node's wire identity.
 func (f *FullNode) ID() wire.NodeID { return f.cfg.Self }
@@ -391,6 +403,10 @@ func (f *FullNode) Receive(from wire.NodeID, m wire.Message) {
 		f.onStripe(from, msg)
 	case *ZoneBlock:
 		f.onBlock(from, msg.Block)
+	case *ZoneSpec:
+		f.onSpecBlock(from, msg.Block)
+	case *ZoneSpecDiscard:
+		f.onSpecDiscard(from, msg)
 	case *Subscribe:
 		f.onSubscribe(from, msg)
 	case *AcceptSubscribe:

@@ -34,6 +34,14 @@ type HostConfig struct {
 	BundleSize     int
 	BundleInterval time.Duration
 	ViewTimeout    time.Duration
+	// Stream enables streaming commit (see node.Config): the distributor
+	// additionally pushes each proposed block to its subscribers the
+	// moment consensus first handles it — before the ordering decision —
+	// and retracts pushes whose proposal the engine evicted.
+	Stream bool
+	// Pipeline is the PBFT in-flight instance window (see pbft.Config);
+	// meaningful with Stream.
+	Pipeline int
 	// Striper must match the full nodes'.
 	Striper *Striper
 	// MaxSubscribers caps relayer subscriptions at this consensus node
@@ -75,10 +83,14 @@ func NewConsensusHost(cfg HostConfig) (*ConsensusHost, error) {
 		BundleSize:     cfg.BundleSize,
 		BundleInterval: cfg.BundleInterval,
 		ViewTimeout:    cfg.ViewTimeout,
+		Stream:         cfg.Stream,
+		Pipeline:       cfg.Pipeline,
 		ReplyToClients: cfg.ReplyToClients,
 		StripeRoot:     dist.StripeRoot,
 		OnBundleStored: dist.OnBundleStored,
 		OnBlockCommit:  dist.OnBlockCommit,
+		OnBlockPropose: dist.OnBlockPropose,
+		OnBlockEvict:   dist.OnBlockEvict,
 		Trace:          cfg.Trace,
 		Metrics:        cfg.Metrics,
 		Executor:       cfg.Executor,

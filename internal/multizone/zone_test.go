@@ -36,6 +36,9 @@ type zoneConfig struct {
 	maxSubs     int
 	joinSpacing time.Duration
 	loss        float64
+	// stream enables streaming commit on the consensus hosts (speculative
+	// proposed-block pushes plus PBFT pipelining).
+	stream bool
 	// starveRewire arms the opt-in withholding detector (see
 	// FullNodeConfig.StarveRewireAfter); zero leaves it off, as in
 	// production defaults.
@@ -73,6 +76,10 @@ func buildZoneCluster(t testing.TB, cfg zoneConfig) *zoneCluster {
 		completed: make(map[wire.NodeID][]uint64),
 	}
 	suite := crypto.NewSimSuite(cfg.nc, 17)
+	pipeline := 0
+	if cfg.stream {
+		pipeline = 4
+	}
 	for i := 0; i < cfg.nc; i++ {
 		observer := i == 0
 		host, err := NewConsensusHost(HostConfig{
@@ -82,6 +89,8 @@ func buildZoneCluster(t testing.TB, cfg zoneConfig) *zoneCluster {
 			BundleSize:     50,
 			BundleInterval: 20 * time.Millisecond,
 			ViewTimeout:    2 * time.Second,
+			Stream:         cfg.stream,
+			Pipeline:       pipeline,
 			Striper:        striper,
 			OnCommit: func(height uint64, txs int) {
 				if observer {

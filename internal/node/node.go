@@ -87,6 +87,23 @@ type Config struct {
 	ReproposeInterval time.Duration
 	// Fault selects Byzantine behaviour (Predis mode; Fig. 6).
 	Fault core.FaultMode
+	// Stream enables streaming commit mode (Predis mode): producers seal
+	// bundles per transaction, leaders cut eagerly at their own tips,
+	// PBFT pipelines instances (see Pipeline), HotStuff drains ordered
+	// cuts with empty blocks, and execution merges per bundle. Off, every
+	// component behaves byte-for-byte as block mode.
+	Stream bool
+	// Pipeline is the PBFT in-flight instance window; meaningful with
+	// Stream. Default 1 (classic single-slot PBFT).
+	Pipeline int
+	// OnBlockPropose observes stream-mode proposals the moment they are
+	// built or validated — before commit. Multi-Zone starts speculative
+	// stripe distribution here. The same block may be observed many times.
+	OnBlockPropose func(blk *core.PredisBlock)
+	// OnBlockEvict observes stream-mode proposal evictions (view change,
+	// fork abandonment): the block was speculatively announced and will
+	// not commit as-is. Multi-Zone pushes spec discards here.
+	OnBlockEvict func(blk *core.PredisBlock)
 	// ReplyToClients controls whether commits generate BlockReply
 	// messages to transaction submitters (they consume bandwidth, as the
 	// paper notes in §III-F).
@@ -181,6 +198,10 @@ func New(cfg Config) (*Node, error) {
 			Self:           cfg.Self,
 			Peers:          peers,
 			Fault:          cfg.Fault,
+			Stream:         cfg.Stream,
+			StreamDrain:    cfg.Stream && cfg.Engine == EngineHotStuff,
+			OnProposal:     cfg.OnBlockPropose,
+			OnEvict:        cfg.OnBlockEvict,
 			Disseminate:    cfg.Disseminate,
 			StripeRoot:     cfg.StripeRoot,
 			OnBundleStored: cfg.OnBundleStored,
@@ -189,6 +210,13 @@ func New(cfg Config) (*Node, error) {
 			OnCommit: func(ci core.CommitInfo) {
 				if cfg.OnBlockCommit != nil {
 					cfg.OnBlockCommit(ci.Block)
+				}
+				if cfg.Stream {
+					// Streaming execution consumes the block at bundle
+					// granularity: per-bundle leveling with cache merges
+					// at bundle joins.
+					n.execCommit(ci.Height, ci.Txs, bundleTxGroups(ci.Bundles))
+					return
 				}
 				n.handleCommit(ci.Height, ci.Txs)
 			},
@@ -231,7 +259,8 @@ func New(cfg Config) (*Node, error) {
 		engine, err = pbft.New(pbft.Config{
 			N: cfg.NC, Self: cfg.Self, App: app, Signer: cfg.Signer,
 			ViewTimeout: cfg.ViewTimeout, ReproposeInterval: cfg.ReproposeInterval,
-			Trace: cfg.Trace,
+			Pipeline: cfg.Pipeline,
+			Trace:    cfg.Trace,
 		})
 	case EngineHotStuff:
 		engine, err = hotstuff.New(hotstuff.Config{
@@ -330,14 +359,33 @@ func (n *Node) Submit(tx *types.Transaction) {
 	}
 }
 
+// bundleTxGroups projects a committed block's bundles onto their
+// transaction lists, the unit the streaming committer merges at.
+func bundleTxGroups(bundles []*core.Bundle) [][]*types.Transaction {
+	out := make([][]*types.Transaction, len(bundles))
+	for i, b := range bundles {
+		out[i] = b.Txs
+	}
+	return out
+}
+
 // handleCommit executes a committed block on the node's state machine
 // and fans it out to measurement hooks and client replies.
 func (n *Node) handleCommit(height uint64, txs []*types.Transaction) {
+	n.execCommit(height, txs, nil)
+}
+
+// execCommit is the commit tail shared by block and stream mode: bundles
+// non-nil selects the per-bundle streaming committer.
+func (n *Node) execCommit(height uint64, txs []*types.Transaction, bundles [][]*types.Transaction) {
 	if n.cfg.Executor != nil {
 		var r exec.Result
-		if n.cfg.ExecSerial {
+		switch {
+		case n.cfg.ExecSerial:
 			r = n.cfg.Executor.ExecuteBlockSerial(height, txs)
-		} else {
+		case bundles != nil:
+			r = n.cfg.Executor.ExecuteBlockBundles(compute.PoolOf(n.ctx), height, bundles)
+		default:
 			r = n.cfg.Executor.ExecuteBlock(compute.PoolOf(n.ctx), height, txs)
 		}
 		if n.cfg.Trace != nil && n.ctx != nil {

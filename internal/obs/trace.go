@@ -17,7 +17,12 @@ type Span struct {
 	Node  wire.NodeID
 	Start time.Time
 	End   time.Time
-	open  bool
+	// Discarded marks a span terminated by Tracer.Discard: the tracked
+	// work was abandoned (a speculatively distributed cursor block evicted
+	// by a view change) rather than completed. Discarded spans appear in
+	// exports flagged as such but are excluded from latency statistics.
+	Discarded bool
+	open      bool
 }
 
 // Duration returns the span length.
@@ -147,6 +152,52 @@ func (t *Tracer) SpanSinceMark(stage Stage, key uint64, node wire.NodeID, end ti
 	t.Span(stage, key, node, start, end)
 }
 
+// Discard terminates the (stage, key) span on node's timeline as
+// abandoned: the span closes at `at` with Discarded set, so it neither
+// leaks open (open spans vanish from Spans() and every export) nor
+// pollutes the stage's latency statistics. Without a matching Begin, a
+// zero-length discarded span anchored at the stage's Mark (or at `at`
+// when no anchor exists) is recorded, so speculative work that was only
+// anchored remotely still shows up in drop accounting. Discarding an
+// already-closed span is ignored — completion wins.
+func (t *Tracer) Discard(stage Stage, key uint64, node wire.NodeID, at time.Time) {
+	if t == nil {
+		return
+	}
+	sk := spanKey{stage, key, node}
+	if sp, ok := t.byKey[sk]; ok {
+		if !sp.open {
+			return
+		}
+		sp.End = at
+		sp.open = false
+		sp.Discarded = true
+		return
+	}
+	start, ok := t.marks[markKey{stage, key}]
+	if !ok || start.After(at) {
+		start = at
+	}
+	sp := &Span{Stage: stage, Key: key, Node: node, Start: start, End: at, Discarded: true}
+	t.byKey[sk] = sp
+	t.order = append(t.order, sp)
+}
+
+// DiscardedCount returns how many spans of the stage were terminated via
+// Discard.
+func (t *Tracer) DiscardedCount(stage Stage) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, sp := range t.order {
+		if sp.Discarded && sp.Stage == stage {
+			n++
+		}
+	}
+	return n
+}
+
 // SpanCount returns how many spans were recorded (open and closed).
 func (t *Tracer) SpanCount() int {
 	if t == nil {
@@ -187,14 +238,16 @@ func (t *Tracer) Spans() []Span {
 // ascending (ready for percentiles). It scans the raw recording order
 // rather than the sorted Spans() view: the duration multiset is
 // order-independent, and the final ascending sort makes the result
-// deterministic without paying for a full span sort per stage.
+// deterministic without paying for a full span sort per stage. Discarded
+// spans are excluded — an abandoned speculation's lifetime is drop
+// accounting, not stage latency.
 func (t *Tracer) StageDurations(stage Stage) []time.Duration {
 	if t == nil {
 		return nil
 	}
 	var out []time.Duration
 	for _, sp := range t.order {
-		if !sp.open && sp.Stage == stage {
+		if !sp.open && !sp.Discarded && sp.Stage == stage {
 			out = append(out, sp.Duration())
 		}
 	}
@@ -207,18 +260,48 @@ func (t *Tracer) StageSummary(stage Stage) stats.Summary {
 	return stats.Summarize(t.StageDurations(stage))
 }
 
+// stageHistogram folds one stage's closed durations into a streaming
+// histogram; p50/p90 in tables and CSV come from it (≤5% bucket error)
+// while mean/p99/max stay exact via Summarize.
+func (t *Tracer) stageHistogram(stage Stage) *stats.Histogram {
+	h := &stats.Histogram{}
+	for _, d := range t.StageDurations(stage) {
+		h.Observe(d)
+	}
+	return h
+}
+
+// stageSilent reports whether a stage recorded nothing at all — no closed
+// spans and no discards — so mode-dependent stages (spec_distributed only
+// fires in streaming mode) can be dropped from tables and CSV instead of
+// rendering all-zero rows.
+func (t *Tracer) stageSilent(stage Stage) bool {
+	for _, sp := range t.order {
+		if sp.Stage == stage && (!sp.open || sp.Discarded) {
+			return false
+		}
+	}
+	return true
+}
+
 // WriteStageCSV writes the per-stage latency breakdown as CSV, one row
-// per pipeline stage in data-flow order.
+// per pipeline stage in data-flow order. Optional (mode-dependent) stages
+// that recorded nothing are omitted; always-on stages render zero rows so
+// their absence stays visible.
 func (t *Tracer) WriteStageCSV(w io.Writer) error {
 	if _, err := io.WriteString(w, "stage,count,mean_ms,p50_ms,p90_ms,p99_ms,max_ms\n"); err != nil {
 		return err
 	}
 	for _, stage := range Stages() {
+		if stage.Optional() && t.stageSilent(stage) {
+			continue
+		}
 		s := t.StageSummary(stage)
+		h := t.stageHistogram(stage)
 		if _, err := fmt.Fprintf(w, "%s,%d,%s,%s,%s,%s,%s\n",
 			stage, s.Count,
-			formatFloat(durMS(s.Mean)), formatFloat(durMS(s.P50)),
-			formatFloat(durMS(s.P90)), formatFloat(durMS(s.P99)),
+			formatFloat(durMS(s.Mean)), formatFloat(durMS(h.Percentile(50))),
+			formatFloat(durMS(h.Percentile(90))), formatFloat(durMS(s.P99)),
 			formatFloat(durMS(s.Max))); err != nil {
 			return err
 		}
@@ -228,28 +311,35 @@ func (t *Tracer) WriteStageCSV(w io.Writer) error {
 
 // StageTable renders the per-stage latency breakdown as a stats.Table for
 // terminal output: one row per stage (X = position in the pipeline), one
-// column per statistic.
+// column per statistic. Optional stages that recorded nothing — closed
+// spans and discards both zero — are omitted, so block-mode runs never
+// render the streaming-only spec_distributed row; always-on stages keep
+// their zero rows, matching the historical output. Mean and p99 are
+// exact (Summarize); p50/p90 come from the streaming stats.Histogram.
 func (t *Tracer) StageTable() *stats.Table {
 	title := "Stage latency breakdown (rows:"
-	for i, name := range StageNames {
-		title += fmt.Sprintf(" %d=%s", i+1, name)
-	}
-	title += ")"
-	tbl := &stats.Table{Title: title, XLabel: "stage"}
+	tbl := &stats.Table{XLabel: "stage"}
 	count := &stats.Series{Name: "count"}
 	mean := &stats.Series{Name: "mean_ms"}
 	p50 := &stats.Series{Name: "p50_ms"}
 	p90 := &stats.Series{Name: "p90_ms"}
 	p99 := &stats.Series{Name: "p99_ms"}
 	for _, stage := range Stages() {
+		if stage.Optional() && t.stageSilent(stage) {
+			continue
+		}
 		s := t.StageSummary(stage)
+		h := t.stageHistogram(stage)
 		x := float64(stage) + 1
+		title += fmt.Sprintf(" %d=%s", int(stage)+1, stage)
 		count.Add(x, float64(s.Count))
 		mean.Add(x, durMS(s.Mean))
-		p50.Add(x, durMS(s.P50))
-		p90.Add(x, durMS(s.P90))
+		p50.Add(x, durMS(h.Percentile(50)))
+		p90.Add(x, durMS(h.Percentile(90)))
 		p99.Add(x, durMS(s.P99))
 	}
+	title += ")"
+	tbl.Title = title
 	tbl.Series = []*stats.Series{count, mean, p50, p90, p99}
 	return tbl
 }

@@ -29,6 +29,14 @@ type Config struct {
 	// ReproposeInterval is how often an idle leader re-asks the app for a
 	// proposal. Default 10ms.
 	ReproposeInterval time.Duration
+	// Pipeline is the maximum number of in-flight instances (sequence
+	// numbers past lastExec the leader may have proposed but not yet
+	// executed). The default 1 is classic single-slot PBFT. Streaming
+	// commit mode raises it so the leader keeps ordering new cuts while
+	// earlier slots run their prepare/commit rounds; execution stays
+	// strictly sequential, and replicas chain-validate a slot against the
+	// in-flight parent payload instead of waiting for it to execute.
+	Pipeline int
 	// Trace, when non-nil, records the block_proposed (proposal learned →
 	// prepare quorum) and prepare_commit (prepare quorum → execution)
 	// lifecycle stages on this replica's timeline. Nil disables tracing.
@@ -42,6 +50,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.ReproposeInterval <= 0 {
 		out.ReproposeInterval = 10 * time.Millisecond
+	}
+	if out.Pipeline <= 0 {
+		out.Pipeline = 1
 	}
 	return out
 }
@@ -220,21 +231,31 @@ func (e *Engine) resetSuspicion() {
 	e.vcBackoff = 0
 }
 
-// tryPropose issues the next pre-prepare when this replica leads, is not
-// mid view change, and has no in-flight instance.
+// tryPropose issues pre-prepares when this replica leads and is not mid
+// view change, filling the pipeline window: classic PBFT (Pipeline=1)
+// allows one in-flight instance; streaming mode lets the leader keep
+// proposing later slots, each extending the previous in-flight payload,
+// while earlier slots run their vote rounds.
 func (e *Engine) tryPropose() {
 	if e.ctx == nil || !e.isLeader() || e.inViewChange {
 		return
 	}
-	seq := e.lastExec + 1
-	if inst, ok := e.instances[seq]; ok && inst.view >= e.view {
-		return // already proposed / in flight
+	parent := e.lastPayload
+	for seq := e.lastExec + 1; seq <= e.lastExec+uint64(e.cfg.Pipeline); seq++ {
+		if inst, ok := e.instances[seq]; ok && inst.view >= e.view {
+			if inst.payload == nil {
+				return // votes-only slot: no payload to chain the next slot onto
+			}
+			parent = inst.payload
+			continue // already proposed / in flight
+		}
+		payload, digest, ok := e.cfg.App.BuildProposal(seq, parent)
+		if !ok {
+			return
+		}
+		e.proposeAt(seq, digest, payload)
+		parent = payload
 	}
-	payload, digest, ok := e.cfg.App.BuildProposal(seq, e.lastPayload)
-	if !ok {
-		return
-	}
-	e.proposeAt(seq, digest, payload)
 }
 
 // proposeAt broadcasts a pre-prepare for (view, seq) with the payload.
@@ -261,6 +282,9 @@ func (e *Engine) getInstance(seq, view uint64, digest crypto.Hash) *instance {
 		return inst // caller must check digest; committed slots never reset
 	}
 	// New instance, or a re-proposal in a higher view supersedes the old.
+	if ok {
+		e.evictInstance(inst)
+	}
 	inst = &instance{
 		view:     view,
 		seq:      seq,
@@ -270,6 +294,19 @@ func (e *Engine) getInstance(seq, view uint64, digest crypto.Hash) *instance {
 	}
 	e.instances[seq] = inst
 	return inst
+}
+
+// evictInstance tells a ProposalEvicter application that the engine is
+// dropping an uncommitted in-flight payload (view change or supersession),
+// so speculative side effects keyed to it can be retracted. Committed
+// slots and payload-less (votes-only) slots are never reported.
+func (e *Engine) evictInstance(inst *instance) {
+	if inst == nil || inst.payload == nil || inst.commitQuorum {
+		return
+	}
+	if ev, ok := e.cfg.App.(consensus.ProposalEvicter); ok {
+		ev.OnProposalEvicted(inst.seq, inst.payload)
+	}
 }
 
 // sortedSeqs returns the live instance sequence numbers in ascending
@@ -363,13 +400,21 @@ func (e *Engine) validateInstance(inst *instance) {
 		e.maybeVote(inst)
 		return
 	}
+	parent := e.lastPayload
 	if inst.seq != e.lastExec+1 {
-		// PBFT is sequential: validate against the parent payload only
-		// once the parent has executed. Poke/tryExecute retries.
-		inst.pendingValid = true
-		return
+		// PBFT is sequential by default: validate against the parent
+		// payload only once the parent has executed (Poke/tryExecute
+		// retries). With a pipeline window the parent slot may still be in
+		// flight — chain validation through its payload, which is safe
+		// because the slot's digest binds the payload to that parent.
+		pinst := e.instances[inst.seq-1]
+		if e.cfg.Pipeline <= 1 || pinst == nil || !pinst.validated || pinst.payload == nil {
+			inst.pendingValid = true
+			return
+		}
+		parent = pinst.payload
 	}
-	digest, err := e.cfg.App.ValidateProposal(inst.seq, inst.payload, e.lastPayload)
+	digest, err := e.cfg.App.ValidateProposal(inst.seq, inst.payload, parent)
 	switch {
 	case err == nil:
 		if digest != inst.digest {
@@ -762,11 +807,15 @@ func (e *Engine) adoptView(newView uint64) {
 	e.viewChanged++
 	e.resetTimersForViewChange()
 	e.vcBackoff = 0
-	for seq, inst := range e.instances {
+	// Ascending-seq order: eviction callbacks can emit messages (spec
+	// discards), so map iteration order must not leak into the schedule.
+	for _, seq := range e.sortedSeqs() {
+		inst := e.instances[seq]
 		if inst.commitQuorum {
 			continue // committed instances survive view changes
 		}
 		// Drop stale vote state; the new leader re-proposes.
+		e.evictInstance(inst)
 		delete(e.instances, seq)
 	}
 	for v := range e.viewChanges {

@@ -9,7 +9,12 @@
 // than the one that produced the reference, with the race detector
 // watching the pool the whole time.
 //
-// Usage: go run ./tools/replaydiff [experiment-id]   (default quickstart)
+// Usage: go run ./tools/replaydiff [experiment-id] [extra flags...]
+//
+// The default experiment is quickstart; any further arguments are passed
+// to predis-bench verbatim in both runs, so e.g.
+// `go run ./tools/replaydiff quickstart -mode stream` gates the
+// streaming-commit schedule the same way.
 //
 // Exit status 0 means the two runs matched and at least one delivery
 // was folded into the hash; anything else is a failure with the diff on
@@ -42,8 +47,10 @@ func main() {
 
 func run(args []string) error {
 	id := "quickstart"
+	var extra []string
 	if len(args) > 0 {
 		id = args[0]
+		extra = args[1:]
 	}
 
 	dir, err := os.MkdirTemp("", "replaydiff")
@@ -63,8 +70,8 @@ func run(args []string) error {
 		name string
 		args []string
 	}{
-		{"workers=0", []string{"-quick", "-seed", "1", "-replay", "-workers", "0", id}},
-		{"workers=4,parallel=2", []string{"-quick", "-seed", "1", "-replay", "-workers", "4", "-parallel", "2", id}},
+		{"workers=0", append([]string{"-quick", "-seed", "1", "-replay", "-workers", "0"}, append(extra, id)...)},
+		{"workers=4,parallel=2", append([]string{"-quick", "-seed", "1", "-replay", "-workers", "4", "-parallel", "2"}, append(extra, id)...)},
 	}
 	outs := make([]string, len(runs))
 	hashes := make([]string, len(runs))
